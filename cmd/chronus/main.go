@@ -1,0 +1,218 @@
+// Command chronus is the CLI of the paper's §3.3: benchmark,
+// init-model, load-model, slurm-config and set, operating on a
+// simulated single-node cluster whose state (database, blob storage,
+// settings, pre-loaded models) persists in a data directory across
+// invocations.
+//
+// Usage:
+//
+//	chronus -data DIR benchmark [HPCG_PATH] [-configurations FILE] [-quick]
+//	chronus -data DIR init-model -model TYPE [-system ID]
+//	chronus -data DIR load-model [-model ID]
+//	chronus -data DIR slurm-config SYSTEM_HASH BINARY_HASH
+//	chronus -data DIR set (database|blob-storage|state) VALUE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ecosched"
+	"ecosched/internal/core"
+	"ecosched/internal/perfmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chronus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("chronus", flag.ContinueOnError)
+	dataDir := global.String("data", "./chronus-data", "state directory (database, blobs, settings)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set) ...")
+	}
+
+	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: *dataDir, LogW: os.Stdout})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	switch cmd, cmdArgs := rest[0], rest[1:]; cmd {
+	case "benchmark":
+		return cmdBenchmark(d, cmdArgs)
+	case "init-model":
+		return cmdInitModel(d, cmdArgs)
+	case "load-model":
+		return cmdLoadModel(d, cmdArgs)
+	case "slurm-config":
+		return cmdSlurmConfig(d, cmdArgs)
+	case "set":
+		return cmdSet(d, cmdArgs)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdBenchmark(d *ecosched.Deployment, args []string) error {
+	fs := flag.NewFlagSet("benchmark", flag.ContinueOnError)
+	configPath := fs.String("configurations", "", "JSON array of configurations to benchmark")
+	quick := fs.Bool("quick", false, "benchmark a 10-point representative subset instead of all configurations")
+	resume := fs.Bool("resume", false, "skip configurations already benchmarked for this system")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// An optional positional HPCG path, as in the paper's CLI. The
+	// simulated binary path is fixed at deployment time; the argument
+	// is accepted for interface parity.
+	if fs.NArg() > 1 {
+		return fmt.Errorf("benchmark takes at most one positional argument (HPCG path)")
+	}
+
+	var configs []perfmodel.Config
+	switch {
+	case *configPath != "":
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		configs, err = core.ParseConfigsJSON(data)
+		if err != nil {
+			return err
+		}
+	case *quick:
+		configs = ecosched.QuickSweepConfigs()
+	default:
+		// The paper's default: every configuration the CPU supports.
+		var err error
+		configs, err = d.Chronus.Benchmark.DefaultConfigs()
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("benchmarking %d configurations (simulated time)...\n", len(configs))
+	if *resume {
+		runID, skipped, err := d.Chronus.Benchmark.RunResume(configs, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed: %d skipped, run %d.\n", skipped, runID)
+		return nil
+	}
+	runID, err := d.BenchmarkConfigs(configs, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Run data has been saved to the database (run %d).\n", runID)
+	return nil
+}
+
+func cmdInitModel(d *ecosched.Deployment, args []string) error {
+	fs := flag.NewFlagSet("init-model", flag.ContinueOnError)
+	model := fs.String("model", "linear-regression", "model type: brute-force|linear-regression|random-forest|random-tree|genetic")
+	system := fs.Int64("system", -1, "the id of the system to use")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *system < 0 {
+		systems, err := d.Chronus.InitModel.Systems()
+		if err != nil {
+			return err
+		}
+		if len(systems) == 0 {
+			return fmt.Errorf("no systems in the database — run `chronus benchmark` first")
+		}
+		fmt.Println("Available systems:")
+		for _, s := range systems {
+			fmt.Printf("  %d: %s (%d cores, %d threads/core, %d MB)\n",
+				s.ID, s.CPUName, s.Cores, s.ThreadsPerCore, s.RAMMB)
+		}
+		fmt.Println("Specify the system id with --system <id>")
+		return nil
+	}
+	meta, err := d.Chronus.InitModel.Run(*model, *system)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %d of type %s trained on %d benchmarks, uploaded to %s\n",
+		meta.ID, meta.Optimizer, meta.TrainRows, meta.BlobKey)
+	return nil
+}
+
+func cmdLoadModel(d *ecosched.Deployment, args []string) error {
+	fs := flag.NewFlagSet("load-model", flag.ContinueOnError)
+	model := fs.Int64("model", -1, "the id of the model to load")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model < 0 {
+		models, err := d.Chronus.LoadModel.Models()
+		if err != nil {
+			return err
+		}
+		if len(models) == 0 {
+			return fmt.Errorf("no models in the database — run `chronus init-model` first")
+		}
+		fmt.Println("Available Models:")
+		for _, m := range models {
+			fmt.Printf("  %d: %s (system %d, %d rows, %s)\n",
+				m.ID, m.Optimizer, m.SystemID, m.TrainRows, m.Created.Format("2006-01-02 15:04"))
+		}
+		fmt.Println("Specify the model id with --model <id>")
+		return nil
+	}
+	local, err := d.PreloadModel(*model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %d pre-loaded to %s\n", local.ModelID, local.Path)
+	return nil
+}
+
+func cmdSlurmConfig(d *ecosched.Deployment, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: chronus slurm-config SYSTEM_HASH BINARY_HASH")
+	}
+	cfg, latency, err := d.Chronus.Predict.Predict(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	fmt.Println(core.ConfigJSONOutput(cfg))
+	fmt.Fprintf(os.Stderr, "decision latency: %v\n", latency)
+	return nil
+}
+
+func cmdSet(d *ecosched.Deployment, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: chronus set (database|blob-storage|state) VALUE")
+	}
+	key, value := args[0], args[1]
+	switch key {
+	case "database":
+		return d.Chronus.Set.SetDatabase(value)
+	case "blob-storage":
+		return d.Chronus.Set.SetBlobStorage(value)
+	case "state":
+		if err := d.Chronus.Set.SetState(value); err != nil {
+			return err
+		}
+		fmt.Printf("plugin state set to %s\n", value)
+		return nil
+	default:
+		// Keep parity with the paper's help text.
+		if _, err := strconv.Atoi(key); err == nil {
+			return fmt.Errorf("set takes a key, not an id")
+		}
+		return fmt.Errorf("unknown setting %q (want database, blob-storage or state)", key)
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The CLI is exercised through run(), with state persisting in a data
+// directory across invocations — the property the real chronus relies
+// on (database + settings on disk).
+
+func TestCLIFullWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "chronus-data")
+
+	steps := [][]string{
+		{"-data", data, "benchmark", "-quick"},
+		{"-data", data, "init-model", "-model", "brute-force", "-system", "1"},
+		{"-data", data, "load-model", "-model", "1"},
+		{"-data", data, "set", "state", "active"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("chronus %v: %v", args, err)
+		}
+	}
+
+	// The settings file must exist where the deployment keeps it.
+	if _, err := os.Stat(filepath.Join(data, "etc", "chronus", "settings.json")); err != nil {
+		t.Fatalf("settings not persisted: %v", err)
+	}
+	// The pre-loaded model must exist on "local disk".
+	matches, _ := filepath.Glob(filepath.Join(data, "opt", "chronus", "optimizer", "model-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("pre-loaded models on disk: %v", matches)
+	}
+}
+
+func TestCLIListModes(t *testing.T) {
+	data := filepath.Join(t.TempDir(), "data")
+	if err := run([]string{"-data", data, "benchmark", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	// Without --system / --model the commands list and exit zero.
+	if err := run([]string{"-data", data, "init-model"}); err != nil {
+		t.Fatalf("init-model list mode: %v", err)
+	}
+	if err := run([]string{"-data", data, "init-model", "-model", "brute-force", "-system", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", data, "load-model"}); err != nil {
+		t.Fatalf("load-model list mode: %v", err)
+	}
+}
+
+func TestCLISlurmConfig(t *testing.T) {
+	data := filepath.Join(t.TempDir(), "data")
+	for _, args := range [][]string{
+		{"-data", data, "benchmark", "-quick"},
+		{"-data", data, "init-model", "-model", "brute-force", "-system", "1"},
+		{"-data", data, "load-model", "-model", "1"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wrong arity.
+	if err := run([]string{"-data", data, "slurm-config", "onlyone"}); err == nil {
+		t.Fatal("slurm-config with one arg accepted")
+	}
+	// Unknown hashes error cleanly.
+	if err := run([]string{"-data", data, "slurm-config", "123", "456"}); err == nil {
+		t.Fatal("slurm-config with unknown system accepted")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	data := filepath.Join(t.TempDir(), "data")
+	cases := [][]string{
+		{},
+		{"-data", data, "frobnicate"},
+		{"-data", data, "init-model", "-model", "perceptron", "-system", "1"},
+		{"-data", data, "load-model", "-model", "99"},
+		{"-data", data, "set", "state", "turbo"},
+		{"-data", data, "set", "onlykey"},
+		{"-data", data, "set", "unknown", "value"},
+		{"-data", data, "benchmark", "-configurations", "/nonexistent.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("chronus %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestCLIBenchmarkWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	cfgPath := filepath.Join(dir, "configurations.json")
+	// The paper's configuration JSON shape (§3.3).
+	if err := os.WriteFile(cfgPath, []byte(`[
+		{"cores": 32, "threads_per_core": 2, "frequency": 2200000},
+		{"cores": 32, "threads_per_core": 1, "frequency": 2500000}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", data, "benchmark", "-configurations", cfgPath}); err != nil {
+		t.Fatal(err)
+	}
+	// The two configurations were benchmarked: a model can be trained.
+	if err := run([]string{"-data", data, "init-model", "-model", "brute-force", "-system", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIBenchmarkResume(t *testing.T) {
+	data := filepath.Join(t.TempDir(), "data")
+	if err := run([]string{"-data", data, "benchmark", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	// Resuming the same quick set skips everything.
+	if err := run([]string{"-data", data, "benchmark", "-quick", "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Command ecosim runs the paper's complete story end to end on the
+// simulated cluster: benchmark a sweep, train and pre-load a model,
+// then submit the same HPCG job twice — once plain, once with the
+// `--comment "chronus"` opt-in — and print the energy accounting the
+// eco plugin's rewrite saves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecosched"
+	"ecosched/internal/slurm"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "state directory (default: a temporary directory)")
+	model := flag.String("model", "brute-force", "optimizer to train")
+	full := flag.Bool("full", false, "benchmark the full 138-configuration paper sweep instead of the quick subset")
+	flag.Parse()
+	if err := run(*dataDir, *model, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "ecosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataDir, model string, full bool) error {
+	dir := dataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ecosim")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir, LogW: os.Stdout})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	configs := ecosched.QuickSweepConfigs()
+	if full {
+		configs = ecosched.PaperSweepConfigs()
+	}
+	fmt.Printf("== chronus benchmark: %d configurations ==\n", len(configs))
+	if _, err := d.BenchmarkConfigs(configs, 0); err != nil {
+		return err
+	}
+
+	fmt.Printf("== chronus init-model --model %s ==\n", model)
+	meta, err := d.TrainModel(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== chronus load-model --model %d ==\n", meta.ID)
+	if _, err := d.PreloadModel(meta.ID); err != nil {
+		return err
+	}
+
+	fmt.Println("== sbatch HPCG (plain) ==")
+	plain, err := d.SubmitHPCG(ecosched.StandardConfig())
+	if err != nil {
+		return err
+	}
+	if _, err := d.Cluster.WaitFor(plain.ID); err != nil {
+		return err
+	}
+
+	fmt.Println("== sbatch HPCG --comment \"chronus\" ==")
+	eco, err := d.SubmitHPCGOptIn()
+	if err != nil {
+		return err
+	}
+	done, err := d.Cluster.WaitFor(eco.ID)
+	if err != nil {
+		return err
+	}
+	if done.State != slurm.StateCompleted {
+		return fmt.Errorf("eco job ended %s (%s)", done.State, done.Reason)
+	}
+
+	fmt.Println("\n== sinfo ==")
+	fmt.Print(d.Cluster.FormatSinfo())
+	fmt.Println("\n== sacct (energy accounting) ==")
+	fmt.Print(d.Cluster.FormatSacct())
+
+	pRec, _ := d.Cluster.Accounting().Record(plain.ID)
+	eRec, _ := d.Cluster.Accounting().Record(eco.ID)
+	_ = []slurm.AcctRecord{pRec, eRec}
+	fmt.Printf("\neco plugin rewrote %d of %d submissions\n", d.Plugin.Rewritten, d.Plugin.Submissions)
+	fmt.Printf("system energy saving: %.1f%% (paper: 11%%)\n", 100*(1-eRec.SystemKJ/pRec.SystemKJ))
+	fmt.Printf("CPU energy saving:    %.1f%% (paper: 18%%)\n", 100*(1-eRec.CPUKJ/pRec.CPUKJ))
+	return nil
+}

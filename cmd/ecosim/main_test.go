@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestEcosimQuick(t *testing.T) {
+	if err := run(t.TempDir(), "brute-force", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEcosimRandomForest(t *testing.T) {
+	if err := run(t.TempDir(), "random-forest", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEcosimUnknownModel(t *testing.T) {
+	if err := run(t.TempDir(), "perceptron", false); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// Each experiment selector must run end to end. The heavyweight sweep
+// selectors are grouped to avoid regenerating the 138-run sweep per
+// subtest.
+func TestExperimentSelectors(t *testing.T) {
+	for _, exp := range []string{"fig1", "table2", "eq1", "ablation-preload"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExperimentSweepSelectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep selectors skipped in -short mode")
+	}
+	for _, exp := range []string{"table1", "ablation-optimizer"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			if err := run(exp); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("tablex"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command hpcgrun executes the real HPCG solver (symmetric
+// Gauss–Seidel / multigrid preconditioned conjugate gradients on the
+// 27-point stencil) and prints the rating the way Chronus logs it in
+// the paper's Figure 1. Unlike the rest of the repository this runs
+// actual floating-point work, so problem sizes are chosen for laptop
+// scale by default.
+//
+// Usage:
+//
+//	hpcgrun [-n 64] [-iters 50] [-workers 8] [-precond] [-colored]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ecosched/internal/hpcg"
+)
+
+func main() {
+	n := flag.Int("n", 64, "grid dimension (n×n×n)")
+	iters := flag.Int("iters", 50, "CG iterations")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines per kernel")
+	precond := flag.Bool("precond", true, "apply the multigrid/SymGS preconditioner")
+	colored := flag.Bool("colored", false, "use the parallel 8-colour smoother")
+	tol := flag.Float64("tol", 0, "residual tolerance (0 = run all iterations)")
+	report := flag.Bool("report", false, "run the official-style benchmark procedure and print its report")
+	flag.Parse()
+
+	if *report {
+		if err := runReport(*n, *workers, *colored); err != nil {
+			fmt.Fprintln(os.Stderr, "hpcgrun:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*n, *iters, *workers, *precond, *colored, *tol); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcgrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, iters, workers int, precond, colored bool, tol float64) error {
+	fmt.Printf("INFO Building HPCG problem %dx%dx%d (%d rows)\n", n, n, n, n*n*n)
+	p, err := hpcg.NewProblem(n, n, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("INFO Multigrid levels: %d\n", p.Levels())
+
+	res, x, err := p.RunCG(hpcg.Options{
+		MaxIters:       iters,
+		Tolerance:      tol,
+		Workers:        workers,
+		Preconditioned: precond,
+		ParallelSymGS:  colored,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("INFO Iterations: %d  residual: %.3e → %.3e (reduction %.3e)\n",
+		res.Iterations, res.InitialResidual, res.FinalResidual, res.ResidualReduction())
+	fmt.Printf("INFO Solution error ‖x−x*‖: %.3e\n", p.ErrorNorm(x, workers))
+	fmt.Printf("INFO Result found: %.1f\n", float64(res.FLOPs))
+	fmt.Printf("INFO GFLOP/s rating found: %.5f\n", res.GFLOPS)
+	fmt.Printf("INFO Elapsed: %v with %d workers\n", res.Elapsed, workers)
+	return nil
+}
+
+// runReport executes the full benchmark procedure (setup,
+// verification, timed sets) and prints the official-style report.
+func runReport(n, workers int, colored bool) error {
+	rep, err := hpcg.RunBenchmark(hpcg.BenchmarkOptions{
+		Nx: n, Ny: n, Nz: n,
+		TargetTime:    2 * time.Second,
+		Workers:       workers,
+		ParallelSymGS: colored,
+	})
+	if err != nil {
+		return err
+	}
+	rep.WriteReport(os.Stdout)
+	return nil
+}

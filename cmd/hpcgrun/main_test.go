@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunSmallProblem(t *testing.T) {
+	if err := run(16, 20, 2, true, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunColoredSmoother(t *testing.T) {
+	if err := run(16, 10, 4, true, true, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnpreconditionedWithTolerance(t *testing.T) {
+	if err := run(12, 500, 2, false, false, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsTinyGrid(t *testing.T) {
+	if err := run(1, 10, 1, true, false, 0); err == nil {
+		t.Fatal("1³ grid accepted")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	if err := runReport(16, 4, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package ecosched is a Go reproduction of "Automatic Energy-Efficient
+// Job Scheduling in HPC: A Novel Slurm Plugin Approach" (Springborg,
+// 2023): the eco plugin (job_submit_eco) and the Chronus service, plus
+// every substrate the paper's evaluation rests on — a discrete-event
+// Slurm simulator, a calibrated node model of the paper's EPYC 7502P
+// server with DVFS/power/thermal/IPMI simulation, an HPCG solver, an
+// embedded database, and the optimizer models (brute force, linear
+// regression, random forest, genetic).
+//
+// The entry point is NewDeployment, which wires a complete simulated
+// cluster: hardware nodes, slurmctld with the eco plugin enabled,
+// Chronus with repository/blob/settings storage, and the IPMI
+// telemetry path. From there the paper's whole workflow runs in
+// simulated time:
+//
+//	d, _ := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+//	d.BenchmarkConfigs(ecosched.PaperSweepConfigs(), 0) // chronus benchmark
+//	meta, _ := d.TrainModel("brute-force")              // chronus init-model
+//	d.PreloadModel(meta.ID)                             // chronus load-model
+//	job, _ := d.SubmitHPCGOptIn()                       // sbatch --comment "chronus"
+//	done, _ := d.Cluster.WaitFor(job.ID)
+//
+// Experiment regenerators for every table and figure in the paper live
+// in experiments.go and are exercised by cmd/experiments and the
+// root-level benchmarks.
+package ecosched
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"ecosched/internal/blob"
+	"ecosched/internal/core"
+	"ecosched/internal/ecoplugin"
+	"ecosched/internal/hw"
+	"ecosched/internal/ipmi"
+	"ecosched/internal/paperdata"
+	"ecosched/internal/perfmodel"
+	"ecosched/internal/procfs"
+	"ecosched/internal/repository"
+	"ecosched/internal/settings"
+	"ecosched/internal/simclock"
+	"ecosched/internal/slurm"
+)
+
+// Config is a job resource configuration: scheduled cores, CPU
+// frequency in kHz, threads per core.
+type Config = perfmodel.Config
+
+// Re-exported configuration helpers.
+var (
+	// StandardConfig is what Slurm runs without the plugin: all cores
+	// at maximum frequency (Table 1's blue row).
+	StandardConfig = perfmodel.StandardConfig
+	// BestConfig is the winning configuration: 32 cores at 2.2 GHz
+	// without hyper-threading (Table 1's first row).
+	BestConfig = perfmodel.BestConfig
+)
+
+// RepositoryKind selects the Chronus repository implementation.
+type RepositoryKind string
+
+// Repository implementations, mirroring the paper's SQLite and CSV.
+const (
+	RepoFileDB RepositoryKind = "filedb"
+	RepoCSV    RepositoryKind = "csv"
+)
+
+// Options configure a simulated deployment.
+type Options struct {
+	// Nodes is the cluster size (default 1, the paper's setup).
+	Nodes int
+	// RooflineNodes adds this many extra nodes whose throughput comes
+	// from the parametric roofline model instead of the paper's
+	// measured surface — "hardware the paper never measured", for the
+	// multi-node extension (§6.2.3).
+	RooflineNodes int
+	// Seed drives all simulation randomness (default 1).
+	Seed uint64
+	// DataDir is where the repository, blob storage, settings file and
+	// pre-loaded models live. Required.
+	DataDir string
+	// Repository selects the storage backend (default RepoFileDB).
+	Repository RepositoryKind
+	// HPCGPath is the benchmark binary path (default the paper's
+	// /opt/hpcg/build/bin/xhpcg).
+	HPCGPath string
+	// PluginState is the eco plugin's initial state (default user —
+	// opt-in via the chronus comment).
+	PluginState settings.State
+	// SlurmConf overrides the slurm.conf text (default enables the eco
+	// plugin with the stock budget).
+	SlurmConf string
+	// LogW receives Chronus log output (default discard).
+	LogW io.Writer
+}
+
+// Deployment is a wired, running simulated installation.
+type Deployment struct {
+	Sim      *simclock.Sim
+	Cluster  *slurm.Controller
+	Nodes    []*hw.Node
+	BMCs     []*ipmi.BMC
+	Chronus  *core.Chronus
+	Plugin   *ecoplugin.Plugin
+	Repo     repository.Repository
+	Blob     blob.Store
+	Settings settings.Store
+	HPCGPath string
+
+	fs procfs.FileReader
+}
+
+// NewDeployment builds the full stack of the paper's Figure 2 in
+// simulation: head node (slurmctld + Chronus + eco plugin), compute
+// node(s) with BMCs, and the storage substrate.
+func NewDeployment(opts Options) (*Deployment, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("ecosched: Options.DataDir is required")
+	}
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.HPCGPath == "" {
+		opts.HPCGPath = "/opt/hpcg/build/bin/xhpcg"
+	}
+	if opts.Repository == "" {
+		opts.Repository = RepoFileDB
+	}
+	if opts.PluginState == "" {
+		opts.PluginState = settings.StateUser
+	}
+	if opts.SlurmConf == "" {
+		opts.SlurmConf = "ClusterName=ecosched\nJobSubmitPlugins=eco\n"
+	}
+
+	sim := simclock.New()
+	calib := perfmodel.Default()
+
+	total := opts.Nodes + opts.RooflineNodes
+	nodes := make([]*hw.Node, total)
+	bmcs := make([]*ipmi.BMC, total)
+	rooflineCalib := perfmodel.FromRoofline(perfmodel.DefaultRoofline())
+	for i := range nodes {
+		spec := hw.DefaultSpec()
+		nodeCalib := calib
+		if i >= opts.Nodes {
+			nodeCalib = rooflineCalib
+			spec.Name = fmt.Sprintf("rl%02d", i-opts.Nodes+1)
+		} else if total > 1 {
+			spec.Name = fmt.Sprintf("%s%02d", spec.Name, i+1)
+		}
+		nodes[i] = hw.NewNode(sim, spec, nodeCalib, opts.Seed+uint64(i))
+		bmcs[i] = ipmi.NewBMC(nodes[i])
+		bmcs[i].ChmodWorldReadable() // the paper's chmod o+r /dev/ipmi0
+	}
+
+	conf, err := slurm.ParseConf(opts.SlurmConf)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := slurm.NewController(sim, conf, nodes...)
+	if err != nil {
+		return nil, err
+	}
+
+	var repo repository.Repository
+	switch opts.Repository {
+	case RepoFileDB:
+		repo, err = repository.OpenDB(filepath.Join(opts.DataDir, "database"))
+	case RepoCSV:
+		repo, err = repository.OpenCSV(filepath.Join(opts.DataDir, "database"))
+	default:
+		return nil, fmt.Errorf("ecosched: unknown repository kind %q", opts.Repository)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	blobStore, err := blob.NewDir(filepath.Join(opts.DataDir, "blobs"))
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+	settingsStore := settings.NewEtcStore(filepath.Join(opts.DataDir, "etc", "chronus", "settings.json"))
+	initial, err := settingsStore.Load()
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+	initial.State = opts.PluginState
+	initial.DatabasePath = filepath.Join(opts.DataDir, "database")
+	initial.BlobStoragePath = filepath.Join(opts.DataDir, "blobs")
+	if err := settingsStore.Save(initial); err != nil {
+		repo.Close()
+		return nil, err
+	}
+
+	headNode := nodes[0]
+	fs := procfs.New(headNode)
+	system, err := core.NewIPMISystemService(sim, bmcs[0], headNode, false)
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+	runner, err := core.NewHPCGRunner(cluster, opts.HPCGPath, calib.JobGFLOP)
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+
+	chronus, err := core.New(core.Deps{
+		Repo:     repo,
+		Blob:     blobStore,
+		Settings: settingsStore,
+		SysInfo:  newSysInfo(fs),
+		FS:       fs,
+		Runner:   runner,
+		System:   system,
+		LocalDir: filepath.Join(opts.DataDir, "opt", "chronus", "optimizer"),
+		Now:      sim.Now,
+		LogW:     opts.LogW,
+	})
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+
+	plugin, err := ecoplugin.New(fs, chronus.Predict, settingsStore)
+	if err != nil {
+		repo.Close()
+		return nil, err
+	}
+	cluster.RegisterPlugin(plugin)
+
+	return &Deployment{
+		Sim: sim, Cluster: cluster, Nodes: nodes, BMCs: bmcs,
+		Chronus: chronus, Plugin: plugin,
+		Repo: repo, Blob: blobStore, Settings: settingsStore,
+		HPCGPath: opts.HPCGPath, fs: fs,
+	}, nil
+}
+
+// Close releases storage resources.
+func (d *Deployment) Close() error { return d.Repo.Close() }
+
+// PaperSweepConfigs returns the 138 configurations of Tables 4–6.
+func PaperSweepConfigs() []Config {
+	out := make([]Config, 0, len(paperdata.Sweep))
+	for _, r := range paperdata.Sweep {
+		tpc := 1
+		if r.HyperThread {
+			tpc = 2
+		}
+		out = append(out, Config{Cores: r.Cores, FreqKHz: int(r.GHz * 1e6), ThreadsPerCore: tpc})
+	}
+	return out
+}
+
+// QuickSweepConfigs returns a small representative subset of the sweep
+// that still contains the best and standard configurations — enough to
+// train a useful model in examples.
+func QuickSweepConfigs() []Config {
+	ghz := func(g float64) int { return int(g * 1e6) }
+	return []Config{
+		{Cores: 32, FreqKHz: ghz(2.5), ThreadsPerCore: 1},
+		{Cores: 32, FreqKHz: ghz(2.2), ThreadsPerCore: 1},
+		{Cores: 32, FreqKHz: ghz(1.5), ThreadsPerCore: 1},
+		{Cores: 32, FreqKHz: ghz(2.2), ThreadsPerCore: 2},
+		{Cores: 30, FreqKHz: ghz(2.2), ThreadsPerCore: 1},
+		{Cores: 28, FreqKHz: ghz(2.2), ThreadsPerCore: 1},
+		{Cores: 24, FreqKHz: ghz(2.5), ThreadsPerCore: 1},
+		{Cores: 16, FreqKHz: ghz(2.2), ThreadsPerCore: 1},
+		{Cores: 16, FreqKHz: ghz(2.5), ThreadsPerCore: 2},
+		{Cores: 8, FreqKHz: ghz(2.5), ThreadsPerCore: 1},
+	}
+}
+
+// BenchmarkConfigs runs `chronus benchmark` over the configurations.
+// A zero interval uses the paper's default sampling rate.
+func (d *Deployment) BenchmarkConfigs(configs []Config, interval time.Duration) (int64, error) {
+	return d.Chronus.Benchmark.Run(configs, interval)
+}
+
+// TrainModel runs `chronus init-model` for the deployment's (single)
+// registered system.
+func (d *Deployment) TrainModel(modelType string) (repository.ModelMeta, error) {
+	systems, err := d.Chronus.InitModel.Systems()
+	if err != nil {
+		return repository.ModelMeta{}, err
+	}
+	if len(systems) == 0 {
+		return repository.ModelMeta{}, fmt.Errorf("ecosched: no systems registered — run BenchmarkConfigs first")
+	}
+	return d.Chronus.InitModel.Run(modelType, systems[0].ID)
+}
+
+// PreloadModel runs `chronus load-model`.
+func (d *Deployment) PreloadModel(modelID int64) (settings.LocalModel, error) {
+	return d.Chronus.LoadModel.Run(modelID)
+}
+
+// SubmitHPCGOptIn submits the paper's user journey: an HPCG batch job
+// with the standard (wasteful) request and the chronus opt-in comment.
+func (d *Deployment) SubmitHPCGOptIn() (*slurm.Job, error) {
+	script := fmt.Sprintf(`#!/bin/bash
+#SBATCH --nodes=1
+#SBATCH --ntasks=%d
+#SBATCH --cpu-freq=2500000
+#SBATCH --comment "chronus"
+
+srun --mpi=pmix_v4 --ntasks-per-core=1 %s
+`, paperdata.CPUCores, d.HPCGPath)
+	return d.Cluster.SubmitScript(script)
+}
+
+// SubmitHPCG submits an HPCG job in an explicit configuration without
+// opting in to the plugin.
+func (d *Deployment) SubmitHPCG(cfg Config) (*slurm.Job, error) {
+	script := slurm.RenderBatchScript(d.HPCGPath, cfg.Cores, cfg.FreqKHz, cfg.ThreadsPerCore)
+	return d.Cluster.SubmitScript(script)
+}

@@ -1,0 +1,78 @@
+// Deadline-aware configuration (paper §6.2.1): "giving a deadline as
+// an input in sbatch, and the model finds the best configuration that
+// still finishes before the deadline (statistically)".
+//
+// The example asks for the most energy-efficient HPCG configuration
+// under three different deadlines — generous, tight and impossible —
+// and runs the feasible ones on the simulated cluster.
+//
+//	go run ./examples/deadline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ecosched"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "deadline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	const margin = 0.10 // 10 % statistical headroom
+
+	for _, tc := range []struct {
+		name     string
+		deadline time.Duration
+	}{
+		{"generous (1 h: energy-optimal config fits)", time.Hour},
+		{"tight (20m25s: must fall back to the faster standard config)", 20*time.Minute + 25*time.Second},
+		{"impossible (5 min: nothing fits)", 5 * time.Minute},
+	} {
+		fmt.Printf("== deadline %s ==\n", tc.name)
+		cfg, err := d.EfficientConfigWithinDeadline(tc.deadline, margin)
+		if err != nil {
+			fmt.Printf("   no feasible configuration: %v\n\n", err)
+			continue
+		}
+		est := d.EstimateRuntime(cfg)
+		sysKJ, _ := d.EstimateEnergyKJ(cfg)
+		fmt.Printf("   chosen %v — predicted runtime %v, %.1f kJ\n", cfg, est.Round(time.Second), sysKJ)
+
+		deadline := d.Sim.Now().Add(tc.deadline)
+		script := fmt.Sprintf(`#!/bin/bash
+#SBATCH --nodes=1
+#SBATCH --ntasks=%d
+#SBATCH --cpu-freq=%d
+#SBATCH --deadline=%s
+
+srun --mpi=pmix_v4 --ntasks-per-core=%d /opt/hpcg/build/bin/xhpcg
+`, cfg.Cores, cfg.FreqKHz, deadline.Format(time.RFC3339), cfg.ThreadsPerCore)
+		job, err := d.Cluster.SubmitScript(script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		done, err := d.Cluster.WaitFor(job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if done.State != ecosched.StateCompleted {
+			fmt.Printf("   job %d: %s (%s)\n\n", done.ID, done.State, done.Reason)
+			continue
+		}
+		slack := deadline.Sub(done.EndTime)
+		fmt.Printf("   job %d completed with %v to spare\n\n", done.ID, slack.Round(time.Second))
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: the paper's full workflow in ~40 lines.
+//
+// A simulated single-node cluster (the paper's Lenovo SR650 / EPYC
+// 7502P) is benchmarked by Chronus, a prediction model is trained and
+// pre-loaded, and then a user submits HPCG with the `--comment
+// "chronus"` opt-in. The eco plugin rewrites the job to the
+// energy-efficient configuration, and the accounting shows the ~11 %
+// system-energy saving the paper reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ecosched"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Deploy: hardware, Slurm with job_submit_eco, Chronus.
+	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// 2. `chronus benchmark`: measure a representative configuration
+	//    sweep (GFLOPS and watts per configuration).
+	if _, err := d.BenchmarkConfigs(ecosched.QuickSweepConfigs(), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. `chronus init-model` + `chronus load-model`.
+	meta, err := d.TrainModel("brute-force")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.PreloadModel(meta.ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The user submits HPCG, opting in to the eco plugin.
+	job, err := d.SubmitHPCGOptIn()
+	if err != nil {
+		log.Fatal(err)
+	}
+	done, err := d.Cluster.WaitFor(job.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Compare with what the standard configuration would have used.
+	rec, _ := d.Cluster.Accounting().Record(done.ID)
+	stdSys, _ := d.EstimateEnergyKJ(ecosched.StandardConfig())
+	fmt.Printf("job %d ran %d cores @ %.1f GHz (plugin-rewritten), state %s\n",
+		rec.JobID, rec.Cores, float64(rec.FreqKHz)/1e6, done.State)
+	fmt.Printf("energy: %.1f kJ vs %.1f kJ standard → %.1f%% saving (paper: 11%%)\n",
+		rec.SystemKJ, stdSys, 100*(1-rec.SystemKJ/stdSys))
+	fmt.Printf("efficiency: %.5f GFLOPS/W (paper's best: 0.04877)\n", rec.GFLOPSPerWatt())
+}

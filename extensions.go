@@ -1,0 +1,145 @@
+package ecosched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecosched/internal/core"
+	"ecosched/internal/energymarket"
+	"ecosched/internal/gpu"
+	"ecosched/internal/slurm"
+)
+
+// Public aliases so downstream users (and the examples) reach the
+// extension substrates and the Slurm simulator types through the
+// facade without importing internal packages.
+
+// Job, job states and accounting rows from the Slurm simulator.
+type (
+	Job        = slurm.Job
+	JobState   = slurm.JobState
+	AcctRecord = slurm.AcctRecord
+)
+
+// Job states.
+const (
+	StatePending   = slurm.StatePending
+	StateRunning   = slurm.StateRunning
+	StateCompleted = slurm.StateCompleted
+	StateCancelled = slurm.StateCancelled
+	StateFailed    = slurm.StateFailed
+)
+
+// EnergyMarket is the §6.2.4 synthetic electricity market.
+type EnergyMarket = energymarket.Market
+
+// Market objectives.
+type MarketObjective = energymarket.Objective
+
+// Objectives for EnergyMarket.BestStart.
+const (
+	MinCost   = energymarket.MinCost
+	MinCarbon = energymarket.MinCarbon
+)
+
+// NewEnergyMarket returns a deterministic synthetic market.
+func NewEnergyMarket(seed uint64) *EnergyMarket { return energymarket.New(seed) }
+
+// GPUModel is the §6.2.2 simulated GPU with core/memory DVFS.
+type GPUModel = gpu.Model
+
+// GPUConfig is a GPU operating point.
+type GPUConfig = gpu.Config
+
+// GPUTuneResult summarises a GPU tuning run.
+type GPUTuneResult = gpu.Result
+
+// DefaultGPU returns the GPU model calibrated to the cited
+// 28 %-energy-at-1 %-loss result.
+func DefaultGPU() *GPUModel { return gpu.Default() }
+
+// ---- deadline-aware configuration selection (§6.2.1) ----
+
+// EstimateRuntime predicts how long one evaluation HPCG job runs in a
+// configuration on the deployment's calibrated node.
+func (d *Deployment) EstimateRuntime(cfg Config) time.Duration {
+	secs := d.Nodes[0].Calibration().RuntimeSeconds(cfg)
+	return time.Duration(secs * float64(time.Second))
+}
+
+// EstimateEnergyKJ predicts (system, CPU) energy for one evaluation
+// HPCG job in a configuration.
+func (d *Deployment) EstimateEnergyKJ(cfg Config) (systemKJ, cpuKJ float64) {
+	return d.Nodes[0].Calibration().JobEnergyKJ(cfg)
+}
+
+// EfficientConfigWithinDeadline implements the paper's §6.2.1 idea:
+// "the model finds the best configuration that still finishes before
+// the deadline (statistically)". It scans the node's configuration
+// space by descending predicted efficiency and returns the first whose
+// predicted runtime, inflated by the safety margin (e.g. 0.1 = 10 %
+// headroom for variance), fits in the remaining time.
+func (d *Deployment) EfficientConfigWithinDeadline(remaining time.Duration, safetyMargin float64) (Config, error) {
+	if remaining <= 0 {
+		return Config{}, fmt.Errorf("ecosched: no time remaining before the deadline")
+	}
+	if safetyMargin < 0 {
+		return Config{}, fmt.Errorf("ecosched: negative safety margin")
+	}
+	calib := d.Nodes[0].Calibration()
+	spec := d.Nodes[0].Spec()
+	type cand struct {
+		cfg Config
+		eff float64
+	}
+	var cands []cand
+	for cores := 1; cores <= spec.Cores; cores++ {
+		for _, f := range spec.FrequenciesKHz {
+			for tpc := 1; tpc <= spec.ThreadsPerCore; tpc++ {
+				cfg := Config{Cores: cores, FreqKHz: f, ThreadsPerCore: tpc}
+				cands = append(cands, cand{cfg, calib.Efficiency(cfg)})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].eff > cands[j].eff })
+	for _, c := range cands {
+		predicted := time.Duration(calib.RuntimeSeconds(c.cfg) * (1 + safetyMargin) * float64(time.Second))
+		if predicted <= remaining {
+			return c.cfg, nil
+		}
+	}
+	return Config{}, fmt.Errorf("ecosched: no configuration finishes within %v (even the fastest)", remaining)
+}
+
+// Chronus is the application-layer service bundle type, re-exported
+// for multi-application deployments.
+type ChronusServices = core.Chronus
+
+// AddStreamApplication registers a second benchmarkable application —
+// a STREAM-style bandwidth kernel — and returns a Chronus bundle
+// operating on it. Models are kept per (system, application) pair, so
+// the eco plugin rewrites each binary to its own optimum ("the best
+// energy efficiency configuration changes for each application",
+// §3.2).
+func (d *Deployment) AddStreamApplication(binaryPath string) (*ChronusServices, error) {
+	runner, err := core.NewStreamRunner(d.Cluster, binaryPath)
+	if err != nil {
+		return nil, err
+	}
+	return d.Chronus.WithRunner(runner)
+}
+
+// SubmitBinaryOptIn submits a 32-task job for an arbitrary registered
+// binary with the chronus opt-in comment.
+func (d *Deployment) SubmitBinaryOptIn(binaryPath string) (*Job, error) {
+	script := fmt.Sprintf(`#!/bin/bash
+#SBATCH --nodes=1
+#SBATCH --ntasks=32
+#SBATCH --cpu-freq=2500000
+#SBATCH --comment "chronus"
+
+srun --mpi=pmix_v4 --ntasks-per-core=1 %s
+`, binaryPath)
+	return d.Cluster.SubmitScript(script)
+}

@@ -1,0 +1,3 @@
+module ecosched
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package core is Chronus's application layer — the business logic of
+// the paper's four functions (§3.1.2): benchmarking, model building,
+// model pre-loading and submit-time prediction, plus the `set`
+// configuration command. Following the paper's Clean Architecture
+// (§4.1), this package depends only on integration *interfaces*
+// (Repository, Optimizer, Application Runner, Local Storage, System
+// Service, System Info, File Repository); the concrete implementations
+// are injected at the composition root.
+package core
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"ecosched/internal/blob"
+	"ecosched/internal/perfmodel"
+	"ecosched/internal/procfs"
+	"ecosched/internal/repository"
+	"ecosched/internal/settings"
+	"ecosched/internal/sysinfo"
+	"ecosched/internal/telemetry"
+)
+
+// ApplicationRunner is the paper's Application Runner integration
+// interface: run the benchmarked application once in a given
+// configuration and report what it achieved. The only implementation
+// the paper ships is HPCG (see runner.go).
+type ApplicationRunner interface {
+	Name() string
+	// BinaryPath identifies the application for hashing.
+	BinaryPath() string
+	// Run blocks (in simulated time) until the job finishes.
+	Run(cfg perfmodel.Config) (RunResult, error)
+}
+
+// RunResult is what one application run reports back.
+type RunResult struct {
+	GFLOPS  float64
+	Runtime time.Duration
+}
+
+// SystemService is the paper's System Service integration interface:
+// telemetry sampling while benchmarks run. The IPMI implementation
+// lives in ipmiservice.go.
+type SystemService interface {
+	// StartSampling begins collecting a trace at the given interval;
+	// the returned stop function ends collection and returns the trace.
+	StartSampling(interval time.Duration) (stop func() *telemetry.Trace)
+}
+
+// Deps wires the integration interfaces into the application layer.
+type Deps struct {
+	Repo     repository.Repository
+	Blob     blob.Store
+	Settings settings.Store
+	SysInfo  sysinfo.Provider
+	FS       procfs.FileReader // for the plugin-visible system hash
+	Runner   ApplicationRunner
+	System   SystemService
+	LocalDir string           // head-node model directory (paper: /opt/chronus/optimizer)
+	Now      func() time.Time // simulated clock
+	LogW     io.Writer        // nil = discard
+}
+
+func (d Deps) validate() error {
+	switch {
+	case d.Repo == nil:
+		return fmt.Errorf("core: nil repository")
+	case d.Blob == nil:
+		return fmt.Errorf("core: nil blob store")
+	case d.Settings == nil:
+		return fmt.Errorf("core: nil settings store")
+	case d.SysInfo == nil:
+		return fmt.Errorf("core: nil system info provider")
+	case d.FS == nil:
+		return fmt.Errorf("core: nil file system")
+	case d.Runner == nil:
+		return fmt.Errorf("core: nil application runner")
+	case d.System == nil:
+		return fmt.Errorf("core: nil system service")
+	case d.LocalDir == "":
+		return fmt.Errorf("core: empty local model directory")
+	case d.Now == nil:
+		return fmt.Errorf("core: nil clock")
+	}
+	return nil
+}
+
+// Chronus bundles the five services behind one handle, the way the
+// CLI's five commands map onto them.
+type Chronus struct {
+	deps Deps
+	log  *log.Logger
+
+	Benchmark *BenchmarkService
+	InitModel *InitModelService
+	LoadModel *LoadModelService
+	Predict   *PredictService
+	Set       *SetService
+}
+
+// New validates the wiring and constructs the service bundle.
+func New(deps Deps) (*Chronus, error) {
+	if err := deps.validate(); err != nil {
+		return nil, err
+	}
+	w := deps.LogW
+	if w == nil {
+		w = io.Discard
+	}
+	logger := log.New(w, "chronus ", 0)
+	c := &Chronus{deps: deps, log: logger}
+	c.Benchmark = &BenchmarkService{deps: deps, log: logger}
+	c.InitModel = &InitModelService{deps: deps, log: logger}
+	c.LoadModel = &LoadModelService{deps: deps, log: logger}
+	c.Predict = &PredictService{deps: deps}
+	c.Set = &SetService{deps: deps}
+	return c, nil
+}

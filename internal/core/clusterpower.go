@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ecosched/internal/hw"
+	"ecosched/internal/ipmi"
+	"ecosched/internal/simclock"
+	"ecosched/internal/telemetry"
+)
+
+// ClusterPowerService is the paper's second System Service
+// implementation (§3.2): "in a multi-node configuration, obtaining
+// power data necessitates an API measuring power consumption across
+// multiple nodes. Despite the differing execution methods, both
+// scenarios aim to achieve the same goal — to provide system power
+// measurement." It polls every node's BMC and records the summed
+// cluster power in one trace, behind the same SystemService interface
+// the single-node IPMI implementation satisfies.
+type ClusterPowerService struct {
+	sim   *simclock.Sim
+	conns []*ipmi.Conn
+	nodes []*hw.Node
+}
+
+// NewClusterPowerService opens a BMC session per node.
+func NewClusterPowerService(sim *simclock.Sim, bmcs []*ipmi.BMC, nodes []*hw.Node, asRoot bool) (*ClusterPowerService, error) {
+	if len(bmcs) == 0 || len(bmcs) != len(nodes) {
+		return nil, fmt.Errorf("core: cluster power service needs matching BMC and node lists (%d vs %d)",
+			len(bmcs), len(nodes))
+	}
+	s := &ClusterPowerService{sim: sim, nodes: nodes}
+	for _, b := range bmcs {
+		conn, err := b.Open(asRoot)
+		if err != nil {
+			return nil, err
+		}
+		s.conns = append(s.conns, conn)
+	}
+	return s, nil
+}
+
+// StartSampling implements SystemService: each sample sums the
+// cluster's Total_Power and CPU_Power and averages CPU temperature.
+func (s *ClusterPowerService) StartSampling(interval time.Duration) func() *telemetry.Trace {
+	trace := &telemetry.Trace{Name: "cluster"}
+	sample := func(now time.Time) {
+		var sysW, cpuW, tempSum float64
+		for _, conn := range s.conns {
+			total, _ := conn.Read(ipmi.SensorTotalPower)
+			cpu, _ := conn.Read(ipmi.SensorCPUPower)
+			temp, _ := conn.Read(ipmi.SensorCPUTemp)
+			sysW += total.Value
+			cpuW += cpu.Value
+			tempSum += temp.Value
+		}
+		_ = trace.Append(telemetry.Sample{
+			Time:     now,
+			SystemW:  sysW,
+			CPUW:     cpuW,
+			CPUTempC: tempSum / float64(len(s.conns)),
+			FreqKHz:  s.nodes[0].CurrentFreqKHz(),
+		})
+	}
+	sample(s.sim.Now())
+	ticker := s.sim.Tick(interval, sample)
+	return func() *telemetry.Trace {
+		ticker.Stop()
+		sample(s.sim.Now())
+		return trace
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ecosched/internal/ecoplugin"
+	"ecosched/internal/optimizer"
+	"ecosched/internal/perfmodel"
+)
+
+// Simulated decision latencies (what each step of the slurm-config
+// path costs in the real deployment the paper describes). The pre-load
+// design exists precisely because the cold path — database query plus
+// blob download — does not fit Slurm's submit budget; the A2 ablation
+// measures this.
+const (
+	LatencyLocalRead = 2 * time.Millisecond
+	LatencyDBQuery   = 150 * time.Millisecond
+	LatencyBlobFetch = 400 * time.Millisecond
+	LatencyPredict   = 5 * time.Millisecond
+)
+
+// PredictService is Chronus function 4, `chronus slurm-config`: given
+// the system and binary hashes from job_submit_eco, return the
+// energy-efficient configuration (paper §3.1.2, purple arrows). It
+// implements ecoplugin.Predictor.
+type PredictService struct {
+	deps Deps
+	// AllowColdLoad permits falling back to the database + blob
+	// storage when no model is pre-loaded. The A2 ablation enables it
+	// to demonstrate the latency-budget violation; production keeps it
+	// off.
+	AllowColdLoad bool
+}
+
+var _ ecoplugin.Predictor = (*PredictService)(nil)
+
+// Predict implements ecoplugin.Predictor.
+func (s *PredictService) Predict(systemHash, binaryHash string) (perfmodel.Config, time.Duration, error) {
+	cfg, err := s.deps.Settings.Load()
+	latency := LatencyLocalRead
+	if err != nil {
+		return perfmodel.Config{}, latency, err
+	}
+	if local, ok := cfg.FindModelByHash(systemHash, binaryHash); ok {
+		data, err := os.ReadFile(local.Path)
+		if err != nil {
+			return perfmodel.Config{}, latency, fmt.Errorf("core: pre-loaded model: %w", err)
+		}
+		latency += LatencyLocalRead
+		return s.predictFrom(data, latency)
+	}
+
+	if !s.AllowColdLoad {
+		return perfmodel.Config{}, latency, fmt.Errorf(
+			"core: no pre-loaded model for system %s application %s", systemHash, binaryHash)
+	}
+
+	// Cold path: find the system, its newest model, fetch the blob.
+	latency += LatencyDBQuery
+	systems, err := s.deps.Repo.ListSystems()
+	if err != nil {
+		return perfmodel.Config{}, latency, err
+	}
+	var sysID int64 = -1
+	for _, sys := range systems {
+		if sys.ProcHash == systemHash {
+			sysID = sys.ID
+			break
+		}
+	}
+	if sysID < 0 {
+		return perfmodel.Config{}, latency, fmt.Errorf("core: unknown system %s", systemHash)
+	}
+	models, err := s.deps.Repo.ListModels()
+	if err != nil {
+		return perfmodel.Config{}, latency, err
+	}
+	var blobKey string
+	for _, m := range models {
+		if m.SystemID == sysID && m.AppHash == binaryHash {
+			blobKey = m.BlobKey // list is id-ordered; keep the newest
+		}
+	}
+	if blobKey == "" {
+		return perfmodel.Config{}, latency, fmt.Errorf("core: no model for system %s application %s", systemHash, binaryHash)
+	}
+	data, err := s.deps.Blob.Get(blobKey)
+	if err != nil {
+		return perfmodel.Config{}, latency, err
+	}
+	latency += LatencyBlobFetch
+	return s.predictFrom(data, latency)
+}
+
+func (s *PredictService) predictFrom(data []byte, latency time.Duration) (perfmodel.Config, time.Duration, error) {
+	var file LocalModelFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return perfmodel.Config{}, latency, fmt.Errorf("core: model file: %w", err)
+	}
+	opt, err := optimizer.Decode(file.Optimizer)
+	if err != nil {
+		return perfmodel.Config{}, latency, err
+	}
+	best, err := opt.BestConfig(file.Space)
+	latency += LatencyPredict
+	if err != nil {
+		return perfmodel.Config{}, latency, err
+	}
+	return best, latency, nil
+}
+
+// ConfigJSONOutput renders the configuration the way `chronus
+// slurm-config` prints it for the plugin: a JSON object.
+func ConfigJSONOutput(cfg perfmodel.Config) string {
+	out, _ := json.Marshal(map[string]int{
+		"cores":            cfg.Cores,
+		"threads_per_core": cfg.ThreadsPerCore,
+		"frequency":        cfg.FreqKHz,
+	})
+	return string(out)
+}
+
+// binaryHash is the application identifier shared with the plugin.
+func binaryHash(path string) string { return ecoplugin.BinaryHash(path) }

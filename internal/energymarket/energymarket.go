@@ -1,0 +1,226 @@
+// Package energymarket implements the paper's §6.2.4 future-work
+// extension: scheduling jobs when energy is cheap or renewable — the
+// practice the paper attributes to Vestas and Lancium. It provides a
+// deterministic synthetic electricity market (diurnal demand, solar
+// and wind generation, price coupling) and start-time policies that
+// minimise a job's energy cost or carbon intensity over a window.
+//
+// The market is synthetic because spot-price feeds are a proprietary
+// data gate; the generator reproduces the properties the policies
+// depend on: day/night price cycles, a midday solar valley and
+// multi-hour wind regimes.
+package energymarket
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ecosched/internal/simclock"
+)
+
+// Market is a deterministic synthetic electricity market.
+type Market struct {
+	seed uint64
+	// BasePrice is the mean spot price in EUR/kWh.
+	BasePrice float64
+	// DemandSwing scales the diurnal demand effect on price.
+	DemandSwing float64
+	// RenewableDiscount is how strongly renewable share depresses the
+	// price (EUR/kWh at 100 % share).
+	RenewableDiscount float64
+	// GridCarbon is the carbon intensity of non-renewable generation
+	// in gCO2/kWh; renewables count as zero.
+	GridCarbon float64
+}
+
+// New returns a market with Northern-European-ish defaults. The seed
+// selects the wind-regime realisation.
+func New(seed uint64) *Market {
+	return &Market{
+		seed:              seed,
+		BasePrice:         0.25,
+		DemandSwing:       0.10,
+		RenewableDiscount: 0.18,
+		GridCarbon:        450,
+	}
+}
+
+// SolarShare returns the solar fraction of generation at t: a clear
+// diurnal bell, zero at night.
+func (m *Market) SolarShare(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	if h < 6 || h > 20 {
+		return 0
+	}
+	x := (h - 13) / 7 // peak at 13:00
+	bell := math.Cos(x * math.Pi / 2)
+	return 0.35 * bell * bell
+}
+
+// WindShare returns the wind fraction of generation at t: multi-hour
+// regimes derived deterministically from the seed and the hour index,
+// smoothed between regime points.
+func (m *Market) WindShare(t time.Time) float64 {
+	// One regime value per 6-hour block, interpolated.
+	block := t.Unix() / (6 * 3600)
+	frac := float64(t.Unix()%(6*3600)) / (6 * 3600)
+	a := m.regime(block)
+	b := m.regime(block + 1)
+	return a + (b-a)*frac
+}
+
+func (m *Market) regime(block int64) float64 {
+	rng := simclock.NewRNG(m.seed ^ uint64(block)*0x9e3779b97f4a7c15)
+	return 0.05 + 0.45*rng.Float64()
+}
+
+// RenewableShare is the total renewable fraction at t, capped at 90 %.
+func (m *Market) RenewableShare(t time.Time) float64 {
+	s := m.SolarShare(t) + m.WindShare(t)
+	if s > 0.9 {
+		s = 0.9
+	}
+	return s
+}
+
+// Price returns the spot price in EUR/kWh at t.
+func (m *Market) Price(t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	// Demand peaks around 08:00 and 19:00.
+	demand := 0.6*peak(h, 8, 3) + 0.8*peak(h, 19, 3.5)
+	p := m.BasePrice + m.DemandSwing*demand - m.RenewableDiscount*m.RenewableShare(t)
+	if p < 0.02 {
+		p = 0.02
+	}
+	return p
+}
+
+func peak(h, at, width float64) float64 {
+	d := h - at
+	return math.Exp(-d * d / (2 * width * width))
+}
+
+// CarbonIntensity returns gCO2/kWh at t.
+func (m *Market) CarbonIntensity(t time.Time) float64 {
+	return m.GridCarbon * (1 - m.RenewableShare(t))
+}
+
+// JobCost integrates price × power over a run starting at start,
+// returning EUR. Sampling is minute-granular.
+func (m *Market) JobCost(start time.Time, d time.Duration, powerW float64) float64 {
+	return m.integrate(start, d, powerW, m.Price)
+}
+
+// JobCarbonG integrates carbon intensity × energy over a run,
+// returning grams of CO2.
+func (m *Market) JobCarbonG(start time.Time, d time.Duration, powerW float64) float64 {
+	return m.integrate(start, d, powerW, m.CarbonIntensity)
+}
+
+func (m *Market) integrate(start time.Time, d time.Duration, powerW float64, rate func(time.Time) float64) float64 {
+	if d <= 0 || powerW <= 0 {
+		return 0
+	}
+	const step = time.Minute
+	var total float64
+	for off := time.Duration(0); off < d; off += step {
+		slice := step
+		if d-off < step {
+			slice = d - off
+		}
+		kwh := powerW / 1000 * slice.Hours()
+		total += rate(start.Add(off)) * kwh
+	}
+	return total
+}
+
+// Objective selects what a start-time search minimises.
+type Objective int
+
+// Objectives.
+const (
+	MinCost Objective = iota
+	MinCarbon
+)
+
+// BestStart scans [windowStart, windowEnd − d] at the given step and
+// returns the start time minimising the objective, with its value.
+func (m *Market) BestStart(windowStart, windowEnd time.Time, d time.Duration, powerW float64, step time.Duration, obj Objective) (time.Time, float64, error) {
+	if step <= 0 {
+		return time.Time{}, 0, fmt.Errorf("energymarket: non-positive step")
+	}
+	latest := windowEnd.Add(-d)
+	if latest.Before(windowStart) {
+		return time.Time{}, 0, fmt.Errorf("energymarket: window %v shorter than job %v", windowEnd.Sub(windowStart), d)
+	}
+	eval := func(s time.Time) float64 {
+		if obj == MinCarbon {
+			return m.JobCarbonG(s, d, powerW)
+		}
+		return m.JobCost(s, d, powerW)
+	}
+	best := windowStart
+	bestVal := eval(windowStart)
+	for s := windowStart.Add(step); !s.After(latest); s = s.Add(step) {
+		if v := eval(s); v < bestVal {
+			best, bestVal = s, v
+		}
+	}
+	return best, bestVal, nil
+}
+
+// ForecastPrice returns the day-ahead forecast for the price at t as
+// seen `horizon` ahead of time: the realised price perturbed by noise
+// that grows with the forecast horizon (errAt24h is the relative
+// standard error at a 24-hour horizon). Deterministic per (market
+// seed, forecast seed, hour).
+func (m *Market) ForecastPrice(t time.Time, horizon time.Duration, errAt24h float64, seed uint64) float64 {
+	p := m.Price(t)
+	if horizon <= 0 || errAt24h <= 0 {
+		return p
+	}
+	scale := errAt24h * math.Sqrt(horizon.Hours()/24)
+	rng := simclock.NewRNG(m.seed ^ seed ^ uint64(t.Unix()/3600)*0x9e3779b97f4a7c15)
+	f := p * (1 + scale*rng.Norm())
+	if f < 0.02 {
+		f = 0.02
+	}
+	return f
+}
+
+// BestStartWithForecast chooses a start time using forecast prices
+// (as a real scheduler must) and returns the chosen start, the cost it
+// *expected*, and the cost actually *realised*. Comparing the realised
+// cost against BestStart's oracle answer measures how much forecast
+// error costs.
+func (m *Market) BestStartWithForecast(windowStart, windowEnd time.Time, d time.Duration, powerW float64, step time.Duration, errAt24h float64, seed uint64) (start time.Time, expected, realised float64, err error) {
+	if step <= 0 {
+		return time.Time{}, 0, 0, fmt.Errorf("energymarket: non-positive step")
+	}
+	latest := windowEnd.Add(-d)
+	if latest.Before(windowStart) {
+		return time.Time{}, 0, 0, fmt.Errorf("energymarket: window %v shorter than job %v", windowEnd.Sub(windowStart), d)
+	}
+	forecastCost := func(s time.Time) float64 {
+		var total float64
+		for off := time.Duration(0); off < d; off += time.Minute {
+			slice := time.Minute
+			if d-off < slice {
+				slice = d - off
+			}
+			at := s.Add(off)
+			kwh := powerW / 1000 * slice.Hours()
+			total += m.ForecastPrice(at, at.Sub(windowStart), errAt24h, seed) * kwh
+		}
+		return total
+	}
+	start = windowStart
+	expected = forecastCost(windowStart)
+	for s := windowStart.Add(step); !s.After(latest); s = s.Add(step) {
+		if v := forecastCost(s); v < expected {
+			start, expected = s, v
+		}
+	}
+	return start, expected, m.JobCost(start, d, powerW), nil
+}

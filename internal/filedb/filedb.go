@@ -1,0 +1,386 @@
+// Package filedb is a small embedded, file-backed record store — the
+// stdlib-only stand-in for the SQLite database Chronus uses as one of
+// its Repository implementations. A database is a directory; each
+// table is an append-only log of CRC-checked, length-prefixed JSON
+// records with an in-memory primary-key index rebuilt on open.
+//
+// The store survives process restarts, detects corruption, tolerates a
+// torn final record (crash during append), and supports compaction.
+// It is safe for concurrent use by multiple goroutines.
+package filedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is a handle to a database directory.
+type DB struct {
+	dir string
+
+	mu     sync.Mutex
+	tables map[string]*Table
+	closed bool
+}
+
+// Open opens (creating if necessary) a database rooted at dir.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("filedb: %w", err)
+	}
+	return &DB{dir: dir, tables: make(map[string]*Table)}, nil
+}
+
+// Close flushes and closes all tables. The DB must not be used after.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var firstErr error
+	for _, t := range db.tables {
+		if err := t.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Table opens (creating if necessary) the named table. Table names
+// must be non-empty and contain no path separators.
+func (db *DB) Table(name string) (*Table, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("filedb: invalid table name %q", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, fmt.Errorf("filedb: database closed")
+	}
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	t, err := openTable(filepath.Join(db.dir, name+".log"))
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table is one record log with an in-memory index.
+type Table struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	index  map[int64]record // id → latest live record
+	nextID int64
+	dead   int // superseded/deleted records since last compaction
+}
+
+type record struct {
+	Op   string          `json:"op"` // "put" or "del"
+	ID   int64           `json:"id"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// ErrNotFound is returned by Get/Update/Delete for missing ids.
+var ErrNotFound = fmt.Errorf("filedb: record not found")
+
+func openTable(path string) (*Table, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("filedb: %w", err)
+	}
+	t := &Table{path: path, f: f, index: make(map[int64]record), nextID: 1}
+	if err := t.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// replay scans the log, rebuilding the index. A torn final record
+// (partial write before a crash) is discarded by truncating the file;
+// corruption elsewhere is an error.
+func (t *Table) replay() error {
+	data, err := io.ReadAll(t.f)
+	if err != nil {
+		return fmt.Errorf("filedb: replay %s: %w", t.path, err)
+	}
+	off := 0
+	validEnd := 0
+	for off < len(data) {
+		if off+8 > len(data) {
+			break // torn header
+		}
+		size := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		end := off + 8 + int(size)
+		if size > 1<<30 || end > len(data) {
+			break // torn payload
+		}
+		payload := data[off+8 : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if end == len(data) {
+				break // torn final record
+			}
+			return fmt.Errorf("filedb: %s: corrupt record at offset %d", t.path, off)
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("filedb: %s: bad record at offset %d: %w", t.path, off, err)
+		}
+		t.apply(rec)
+		off = end
+		validEnd = end
+	}
+	if validEnd != len(data) {
+		if err := t.f.Truncate(int64(validEnd)); err != nil {
+			return fmt.Errorf("filedb: truncating torn tail of %s: %w", t.path, err)
+		}
+	}
+	if _, err := t.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("filedb: %w", err)
+	}
+	return nil
+}
+
+func (t *Table) apply(rec record) {
+	switch rec.Op {
+	case "put":
+		if _, existed := t.index[rec.ID]; existed {
+			t.dead++
+		}
+		t.index[rec.ID] = rec
+		if rec.ID >= t.nextID {
+			t.nextID = rec.ID + 1
+		}
+	case "del":
+		if _, existed := t.index[rec.ID]; existed {
+			t.dead++
+		}
+		delete(t.index, rec.ID)
+		t.dead++ // the del record itself
+	}
+}
+
+func (t *Table) appendRecord(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("filedb: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf := append(hdr[:], payload...)
+	if _, err := t.f.Write(buf); err != nil {
+		return fmt.Errorf("filedb: append %s: %w", t.path, err)
+	}
+	return nil
+}
+
+// Insert stores v under a fresh auto-increment id and returns the id.
+func (t *Table) Insert(v any) (int64, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("filedb: marshal: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextID
+	rec := record{Op: "put", ID: id, Data: data}
+	if err := t.appendRecord(rec); err != nil {
+		return 0, err
+	}
+	t.apply(rec)
+	return id, nil
+}
+
+// Update replaces the record stored under id.
+func (t *Table) Update(id int64, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("filedb: marshal: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[id]; !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	rec := record{Op: "put", ID: id, Data: data}
+	if err := t.appendRecord(rec); err != nil {
+		return err
+	}
+	t.apply(rec)
+	return nil
+}
+
+// Get unmarshals the record stored under id into v.
+func (t *Table) Get(id int64, v any) error {
+	t.mu.Lock()
+	rec, ok := t.index[id]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if err := json.Unmarshal(rec.Data, v); err != nil {
+		return fmt.Errorf("filedb: unmarshal id %d: %w", id, err)
+	}
+	return nil
+}
+
+// Delete removes the record stored under id.
+func (t *Table) Delete(id int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.index[id]; !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	rec := record{Op: "del", ID: id}
+	if err := t.appendRecord(rec); err != nil {
+		return err
+	}
+	t.apply(rec)
+	return nil
+}
+
+// Len returns the number of live records.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.index)
+}
+
+// IDs returns the live ids in ascending order.
+func (t *Table) IDs() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int64, 0, len(t.index))
+	for id := range t.index {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Each calls fn for every live record in ascending id order, stopping
+// early if fn returns false. fn receives the raw JSON; callers
+// unmarshal into their own types.
+func (t *Table) Each(fn func(id int64, data json.RawMessage) bool) {
+	t.mu.Lock()
+	type pair struct {
+		id   int64
+		data json.RawMessage
+	}
+	rows := make([]pair, 0, len(t.index))
+	for id, rec := range t.index {
+		rows = append(rows, pair{id, rec.Data})
+	}
+	t.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		if !fn(r.id, r.data) {
+			return
+		}
+	}
+}
+
+// Sync flushes the log to stable storage.
+func (t *Table) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.f.Sync()
+}
+
+// DeadRecords reports how many log entries are superseded — the
+// compaction trigger metric.
+func (t *Table) DeadRecords() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+// Compact rewrites the log with only the live records, atomically
+// replacing the old file.
+func (t *Table) Compact() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	tmpPath := t.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("filedb: compact: %w", err)
+	}
+	ids := make([]int64, 0, len(t.index))
+	for id := range t.index {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var buf bytes.Buffer
+	for _, id := range ids {
+		payload, err := json.Marshal(t.index[id])
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("filedb: compact: %w", err)
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("filedb: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("filedb: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("filedb: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, t.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("filedb: compact: %w", err)
+	}
+	old := t.f
+	f, err := os.OpenFile(t.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("filedb: compact reopen: %w", err)
+	}
+	old.Close()
+	t.f = f
+	t.dead = 0
+	return nil
+}
+
+func (t *Table) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.f == nil {
+		return nil
+	}
+	err := t.f.Close()
+	t.f = nil
+	return err
+}

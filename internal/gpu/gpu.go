@@ -1,0 +1,171 @@
+// Package gpu implements the paper's §6.2.2 future-work extension:
+// tuning GPU core and memory clocks for energy efficiency. The cited
+// result (Abe et al., "Power and performance analysis of
+// GPU-accelerated systems") found ~28 % energy savings for ~1 %
+// performance loss; this package models a memory-bound GPU workload
+// whose clock sweep reproduces that trade-off, and exposes the
+// constrained search the plugin would run: minimum energy subject to a
+// performance-loss bound.
+package gpu
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a simulated GPU with DVFS on the core and memory clocks.
+type Model struct {
+	Name string
+	// Clock ladders in MHz, ascending.
+	CoreClocksMHz []int
+	MemClocksMHz  []int
+	// Throughput: perf = min(CorePerf·core, MemPerf·mem), with a mild
+	// residual clock sensitivity in the memory-bound region.
+	CorePerfPerMHz float64
+	MemPerfPerMHz  float64
+	ClockSlack     float64 // fractional perf lost per full clock-range drop in the memory-bound region
+	// Power model: idle + core·(clock/max)^CoreExp·CoreMaxW + mem share.
+	IdleW    float64
+	CoreMaxW float64
+	CoreExp  float64
+	MemMaxW  float64
+}
+
+// Default returns a model calibrated so the energy-optimal
+// configuration under a 1 % performance-loss bound saves ~28 % energy
+// versus maximum clocks — the cited result.
+func Default() *Model {
+	return &Model{
+		Name:           "sim-gpu",
+		CoreClocksMHz:  ladder(500, 1400, 50),
+		MemClocksMHz:   ladder(1500, 3000, 250),
+		CorePerfPerMHz: 0.9,
+		MemPerfPerMHz:  0.33,
+		ClockSlack:     0.05,
+		IdleW:          40,
+		CoreMaxW:       165,
+		CoreExp:        2.6,
+		MemMaxW:        30,
+	}
+}
+
+func ladder(lo, hi, step int) []int {
+	var out []int
+	for c := lo; c <= hi; c += step {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Config is one GPU DVFS operating point.
+type Config struct {
+	CoreMHz int
+	MemMHz  int
+}
+
+// MaxConfig returns the default operating point (everything at max).
+func (m *Model) MaxConfig() Config {
+	return Config{
+		CoreMHz: m.CoreClocksMHz[len(m.CoreClocksMHz)-1],
+		MemMHz:  m.MemClocksMHz[len(m.MemClocksMHz)-1],
+	}
+}
+
+// Perf returns relative throughput (arbitrary units) at a config.
+// Achievable memory-roof throughput retains a residual sensitivity to
+// the core clock (issue rate, latency hiding), so lowering the clock
+// below max always costs a little even when memory-bound.
+func (m *Model) Perf(c Config) float64 {
+	compute := m.CorePerfPerMHz * float64(c.CoreMHz)
+	maxCore := float64(m.CoreClocksMHz[len(m.CoreClocksMHz)-1])
+	clockFactor := 1 - m.ClockSlack*(maxCore-float64(c.CoreMHz))/maxCore
+	memory := m.MemPerfPerMHz * float64(c.MemMHz) * clockFactor
+	return math.Min(compute, memory)
+}
+
+// PowerW returns board power at a config under load.
+func (m *Model) PowerW(c Config) float64 {
+	maxCore := float64(m.CoreClocksMHz[len(m.CoreClocksMHz)-1])
+	maxMem := float64(m.MemClocksMHz[len(m.MemClocksMHz)-1])
+	core := m.CoreMaxW * math.Pow(float64(c.CoreMHz)/maxCore, m.CoreExp)
+	mem := m.MemMaxW * float64(c.MemMHz) / maxMem
+	return m.IdleW + core + mem
+}
+
+// EnergyPerWork returns joules per unit of work — the quantity the
+// tuner minimises.
+func (m *Model) EnergyPerWork(c Config) float64 {
+	p := m.Perf(c)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return m.PowerW(c) / p
+}
+
+// Result summarises a tuning run.
+type Result struct {
+	Best            Config
+	Baseline        Config
+	EnergySavingPct float64 // vs. baseline, per unit of work
+	PerfLossPct     float64 // vs. baseline
+}
+
+// TuneWithinPerfLoss finds the configuration minimising energy per
+// work subject to a relative performance-loss bound against maximum
+// clocks — "tune the clock rate and memory frequency to get better
+// energy efficiency ... 28 % energy for 1 % performance loss".
+func (m *Model) TuneWithinPerfLoss(maxLossFrac float64) (Result, error) {
+	if maxLossFrac < 0 || maxLossFrac >= 1 {
+		return Result{}, fmt.Errorf("gpu: performance-loss bound %v out of [0,1)", maxLossFrac)
+	}
+	base := m.MaxConfig()
+	basePerf := m.Perf(base)
+	baseEnergy := m.EnergyPerWork(base)
+	best := base
+	bestEnergy := baseEnergy
+	for _, core := range m.CoreClocksMHz {
+		for _, mem := range m.MemClocksMHz {
+			c := Config{core, mem}
+			if m.Perf(c) < basePerf*(1-maxLossFrac) {
+				continue
+			}
+			if e := m.EnergyPerWork(c); e < bestEnergy {
+				best, bestEnergy = c, e
+			}
+		}
+	}
+	return Result{
+		Best:            best,
+		Baseline:        base,
+		EnergySavingPct: 100 * (1 - bestEnergy/baseEnergy),
+		PerfLossPct:     100 * (1 - m.Perf(best)/basePerf),
+	}, nil
+}
+
+// Sweep returns energy-per-work for every operating point, for the
+// figure-style output of the GPU example.
+func (m *Model) Sweep() []struct {
+	Config Config
+	Perf   float64
+	PowerW float64
+	EPW    float64
+} {
+	var out []struct {
+		Config Config
+		Perf   float64
+		PowerW float64
+		EPW    float64
+	}
+	for _, core := range m.CoreClocksMHz {
+		for _, mem := range m.MemClocksMHz {
+			c := Config{core, mem}
+			out = append(out, struct {
+				Config Config
+				Perf   float64
+				PowerW float64
+				EPW    float64
+			}{c, m.Perf(c), m.PowerW(c), m.EnergyPerWork(c)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultIsMemoryBoundAtMaxClocks(t *testing.T) {
+	m := Default()
+	max := m.MaxConfig()
+	compute := m.CorePerfPerMHz * float64(max.CoreMHz)
+	memory := m.MemPerfPerMHz * float64(max.MemMHz)
+	if memory >= compute {
+		t.Fatalf("workload not memory-bound at max clocks: mem %v vs compute %v", memory, compute)
+	}
+}
+
+func TestPerfMonotoneInClocks(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, core := range m.CoreClocksMHz {
+		p := m.Perf(Config{core, 3000})
+		if p < prev {
+			t.Fatalf("perf decreased at %d MHz", core)
+		}
+		prev = p
+	}
+	prev = 0.0
+	for _, mem := range m.MemClocksMHz {
+		p := m.Perf(Config{1400, mem})
+		if p < prev {
+			t.Fatalf("perf decreased at mem %d MHz", mem)
+		}
+		prev = p
+	}
+}
+
+func TestPowerMonotoneInClocks(t *testing.T) {
+	m := Default()
+	if err := quick.Check(func(a, b uint8) bool {
+		i := int(a) % len(m.CoreClocksMHz)
+		j := int(b) % len(m.CoreClocksMHz)
+		if m.CoreClocksMHz[i] < m.CoreClocksMHz[j] {
+			i, j = j, i
+		}
+		return m.PowerW(Config{m.CoreClocksMHz[i], 3000}) >= m.PowerW(Config{m.CoreClocksMHz[j], 3000})
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline: ~28 % energy saving at ≤1 % performance loss.
+func TestTuneReproducesCitedResult(t *testing.T) {
+	m := Default()
+	res, err := m.TuneWithinPerfLoss(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerfLossPct > 1.001 {
+		t.Fatalf("perf loss %.2f%% exceeds the 1%% bound", res.PerfLossPct)
+	}
+	if res.EnergySavingPct < 24 || res.EnergySavingPct > 32 {
+		t.Fatalf("energy saving %.1f%%, cited result is ~28%%", res.EnergySavingPct)
+	}
+	if res.Best.CoreMHz >= res.Baseline.CoreMHz {
+		t.Fatal("tuner did not reduce the core clock")
+	}
+}
+
+func TestTuneZeroLossBound(t *testing.T) {
+	m := Default()
+	res, err := m.TuneWithinPerfLoss(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerfLossPct > 1e-9 {
+		t.Fatalf("zero bound violated: %v%%", res.PerfLossPct)
+	}
+	// With the memory roof binding and residual clock sensitivity
+	// everywhere below max, a strict zero-loss bound admits only the
+	// baseline: the cited saving *requires* giving up ~1 %.
+	if res.Best != res.Baseline || res.EnergySavingPct != 0 {
+		t.Fatalf("zero-loss bound found %+v (%.1f%%), expected the baseline", res.Best, res.EnergySavingPct)
+	}
+}
+
+func TestTuneBoundValidation(t *testing.T) {
+	m := Default()
+	if _, err := m.TuneWithinPerfLoss(-0.1); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+	if _, err := m.TuneWithinPerfLoss(1); err == nil {
+		t.Fatal("bound of 1 accepted")
+	}
+}
+
+func TestLargerBoundNeverWorse(t *testing.T) {
+	m := Default()
+	prev := -1.0
+	for _, bound := range []float64{0, 0.01, 0.02, 0.05, 0.10} {
+		res, err := m.TuneWithinPerfLoss(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EnergySavingPct < prev {
+			t.Fatalf("saving decreased as the bound relaxed (%.2f%% at %.2f)", res.EnergySavingPct, bound)
+		}
+		prev = res.EnergySavingPct
+	}
+}
+
+func TestSweepCoversGrid(t *testing.T) {
+	m := Default()
+	sweep := m.Sweep()
+	if len(sweep) != len(m.CoreClocksMHz)*len(m.MemClocksMHz) {
+		t.Fatalf("sweep has %d points", len(sweep))
+	}
+	for _, pt := range sweep {
+		if pt.EPW <= 0 || pt.PowerW <= m.IdleW {
+			t.Fatalf("bad sweep point %+v", pt)
+		}
+	}
+}

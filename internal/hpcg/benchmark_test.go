@@ -1,0 +1,138 @@
+package hpcg
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunBenchmarkEndToEnd(t *testing.T) {
+	rep, err := RunBenchmark(BenchmarkOptions{
+		Nx: 16, Ny: 16, Nz: 16,
+		TargetTime: 50 * time.Millisecond,
+		Workers:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatalf("verification failed: symA=%g symM=%g", rep.SymmetryErrorA, rep.SymmetryErrorM)
+	}
+	if rep.Sets < 1 || rep.GFLOPS <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !rep.ResidualsConsistent() {
+		t.Fatalf("sets converged differently: %v", rep.ResidualReductions)
+	}
+	if rep.Levels != 3 {
+		t.Fatalf("16³ should have 3 MG levels (16→8→4), got %d", rep.Levels)
+	}
+	if !strings.Contains(rep.String(), "GFLOP/s") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestRunBenchmarkColoredSmoother(t *testing.T) {
+	rep, err := RunBenchmark(BenchmarkOptions{
+		Nx: 16, Ny: 16, Nz: 16,
+		TargetTime:    10 * time.Millisecond,
+		Workers:       4,
+		ParallelSymGS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("coloured smoother failed verification — the permuted sweep must stay symmetric")
+	}
+}
+
+func TestRunBenchmarkBadGrid(t *testing.T) {
+	if _, err := RunBenchmark(BenchmarkOptions{Nx: 1, Ny: 1, Nz: 1}); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+}
+
+func TestSymmetryTestCatchesAsymmetry(t *testing.T) {
+	p := mustProblem(t, 8, 8, 8)
+	// Break symmetry in one off-diagonal entry.
+	cols, vals := p.A.Row(100)
+	for k, c := range cols {
+		if int(c) != 100 {
+			vals[k] = -2.5
+			break
+		}
+	}
+	errA, _ := symmetryErrors(p, 1)
+	if errA < 1e-10 {
+		t.Fatalf("asymmetry not detected: errA = %g", errA)
+	}
+}
+
+func TestResidualsConsistentEdgeCases(t *testing.T) {
+	if (BenchmarkReport{}).ResidualsConsistent() {
+		t.Fatal("empty report consistent")
+	}
+	r := BenchmarkReport{ResidualReductions: []float64{1e-3, 1e-3}}
+	if !r.ResidualsConsistent() {
+		t.Fatal("identical reductions inconsistent")
+	}
+	r = BenchmarkReport{ResidualReductions: []float64{1e-3, 2e-3}}
+	if r.ResidualsConsistent() {
+		t.Fatal("different reductions consistent")
+	}
+	r = BenchmarkReport{ResidualReductions: []float64{0, 0}}
+	if !r.ResidualsConsistent() {
+		t.Fatal("zero reductions inconsistent")
+	}
+}
+
+func BenchmarkHPCGRating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := RunBenchmark(BenchmarkOptions{
+			Nx: 24, Ny: 24, Nz: 24,
+			TargetTime: time.Millisecond,
+			Workers:    8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.GFLOPS, "hpcg-gflops")
+	}
+}
+
+func TestWriteReportFormat(t *testing.T) {
+	rep, err := RunBenchmark(BenchmarkOptions{Nx: 12, Ny: 12, Nz: 12, TargetTime: time.Millisecond, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rep.WriteReport(&buf)
+	for _, frag := range []string{
+		"Global nx: 12",
+		"Departure from symmetry for SpMV",
+		"Validation passed: true",
+		"GFLOP/s rating of:",
+	} {
+		if !strings.Contains(buf.String(), frag) {
+			t.Fatalf("report missing %q:\n%s", frag, buf.String())
+		}
+	}
+}
+
+func TestMemoryEstimates(t *testing.T) {
+	p := mustProblem(t, 16, 16, 16)
+	got := p.MemoryBytes()
+	// Fine level alone: 4096 rows × (27×12 + 5 + 16) bytes ≈ 1.4 MB.
+	if got < 1<<20 || got > 3<<20 {
+		t.Fatalf("MemoryBytes(16³) = %d", got)
+	}
+	// The paper: x=y=z=104 "used 32GB" of the 256 GB node. With one
+	// local 104³ grid per rank on 32 ranks, the estimate lands in the
+	// same tens-of-gigabytes regime.
+	run := EstimateRunBytes(104, 104, 104, 32)
+	gb := float64(run) / (1 << 30)
+	if gb < 12 || gb > 48 {
+		t.Fatalf("estimated run footprint %.1f GB, paper reports 32 GB", gb)
+	}
+}

@@ -1,0 +1,41 @@
+package ml
+
+import "fmt"
+
+// KFoldR2 estimates a model family's generalisation quality: the
+// dataset is split into k deterministic folds (round-robin by row
+// index), the family is fitted on k−1 folds and scored on the held-out
+// fold, and the R² values are averaged. Chronus stores this with each
+// trained model so operators can tell a surface the model actually
+// learned from one it memorised.
+func KFoldR2(d Dataset, k int, fit func(Dataset) (Model, error)) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if k < 2 {
+		return 0, fmt.Errorf("ml: k-fold needs k ≥ 2, got %d", k)
+	}
+	n := len(d.X)
+	if n < 2*k {
+		return 0, fmt.Errorf("ml: %d rows too few for %d folds", n, k)
+	}
+	var sum float64
+	for fold := 0; fold < k; fold++ {
+		var train, test Dataset
+		for i := 0; i < n; i++ {
+			if i%k == fold {
+				test.X = append(test.X, d.X[i])
+				test.Y = append(test.Y, d.Y[i])
+			} else {
+				train.X = append(train.X, d.X[i])
+				train.Y = append(train.Y, d.Y[i])
+			}
+		}
+		m, err := fit(train)
+		if err != nil {
+			return 0, fmt.Errorf("ml: fold %d: %w", fold, err)
+		}
+		sum += R2(m, test)
+	}
+	return sum / float64(k), nil
+}

@@ -1,0 +1,108 @@
+package ml
+
+import "testing"
+
+func TestKFoldR2OnLinearData(t *testing.T) {
+	d := linearData(200, 0.3, 10)
+	r2, err := KFoldR2(d, 5, func(train Dataset) (Model, error) { return FitLinear(train) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.98 {
+		t.Fatalf("CV R² = %v on nearly-linear data", r2)
+	}
+}
+
+func TestKFoldR2DetectsUselessModel(t *testing.T) {
+	// Pure-noise target: no model generalises; CV R² must be ≈0 or
+	// negative, never confidently positive.
+	d := linearData(200, 0, 11)
+	for i := range d.Y {
+		d.Y[i] = NewNoise(uint64(i)) // decorrelate targets from features
+	}
+	r2, err := KFoldR2(d, 5, func(train Dataset) (Model, error) {
+		return FitForest(train, ForestOptions{Trees: 20, Seed: 3})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 > 0.3 {
+		t.Fatalf("CV R² = %v on pure noise — leakage between folds?", r2)
+	}
+}
+
+func TestKFoldR2Validation(t *testing.T) {
+	d := linearData(20, 0, 12)
+	fit := func(train Dataset) (Model, error) { return FitLinear(train) }
+	if _, err := KFoldR2(Dataset{}, 5, fit); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := KFoldR2(d, 1, fit); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := KFoldR2(linearData(6, 0, 13), 5, fit); err == nil {
+		t.Fatal("6 rows across 5 folds accepted")
+	}
+}
+
+func TestKFoldPropagatesFitErrors(t *testing.T) {
+	d := linearData(20, 0, 14)
+	if _, err := KFoldR2(d, 4, func(Dataset) (Model, error) {
+		return nil, errBoom
+	}); err == nil {
+		t.Fatal("fit error swallowed")
+	}
+}
+
+var errBoom = &fitError{}
+
+type fitError struct{}
+
+func (*fitError) Error() string { return "boom" }
+
+// NewNoise is a deterministic hash-based pseudo-noise used by the
+// leakage test above.
+func NewNoise(i uint64) float64 {
+	i ^= i >> 33
+	i *= 0xff51afd7ed558ccd
+	i ^= i >> 33
+	return float64(i%1000)/500 - 1
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		dx, dy := x[0]-3, x[1]+1.5
+		return dx*dx + 2*dy*dy + 7
+	}
+	x, fx, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 7+1e-6 {
+		t.Fatalf("minimum value %v, want ≈7", fx)
+	}
+	if x[0] < 2.99 || x[0] > 3.01 || x[1] < -1.51 || x[1] > -1.49 {
+		t.Fatalf("minimiser %v, want (3, −1.5)", x)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, fx, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIters: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-6 {
+		t.Fatalf("Rosenbrock minimum %v at %v", fx, x)
+	}
+}
+
+func TestNelderMeadEmptyStart(t *testing.T) {
+	if _, _, err := NelderMead(func([]float64) float64 { return 0 }, nil, NelderMeadOptions{}); err == nil {
+		t.Fatal("empty start accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package ml
+
+import (
+	"fmt"
+
+	"ecosched/internal/simclock"
+)
+
+// ForestOptions configure a bagged random forest.
+type ForestOptions struct {
+	Trees       int    // number of trees (default 50)
+	MaxDepth    int    // per-tree depth cap (0 = unlimited)
+	MinLeafSize int    // per-tree leaf floor
+	MaxFeatures int    // features per split (0 = ⌈p/3⌉, the regression default)
+	Seed        uint64 // RNG seed — same seed, same forest
+}
+
+func (o ForestOptions) withDefaults(p int) ForestOptions {
+	if o.Trees <= 0 {
+		o.Trees = 50
+	}
+	if o.MinLeafSize < 1 {
+		o.MinLeafSize = 1
+	}
+	if o.MaxFeatures <= 0 {
+		o.MaxFeatures = (p + 2) / 3
+	}
+	return o
+}
+
+// Forest is a bagged ensemble of regression trees.
+type Forest struct {
+	Trees []*Tree `json:"trees"`
+}
+
+// FitForest trains a random forest: each tree sees a bootstrap
+// resample of the rows and a random feature subset per split.
+func FitForest(d Dataset, opts ForestOptions) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(d.Features())
+	rng := simclock.NewRNG(opts.Seed)
+	n := len(d.X)
+	forest := &Forest{Trees: make([]*Tree, 0, opts.Trees)}
+	for t := 0; t < opts.Trees; t++ {
+		// Bootstrap resample.
+		boot := Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			boot.X[i] = d.X[j]
+			boot.Y[i] = d.Y[j]
+		}
+		tree, err := FitTree(boot, TreeOptions{
+			MaxDepth:    opts.MaxDepth,
+			MinLeafSize: opts.MinLeafSize,
+			MaxFeatures: opts.MaxFeatures,
+			rng:         rng,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		forest.Trees = append(forest.Trees, tree)
+	}
+	return forest, nil
+}
+
+// Predict implements Model: the mean of the trees' predictions.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(f.Trees) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.Trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.Trees))
+}
+
+// FeatureImportance returns each feature's share of the total
+// squared-error reduction across all splits in the forest (summing to
+// 1 when any split exists) — which knob the model actually uses.
+func (f *Forest) FeatureImportance(features int) []float64 {
+	imp := make([]float64, features)
+	for _, t := range f.Trees {
+		walkImportance(t.Root, imp)
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+func walkImportance(n *TreeNode, imp []float64) {
+	if n == nil || n.IsLeaf() {
+		return
+	}
+	if n.Feature >= 0 && n.Feature < len(imp) {
+		imp[n.Feature] += n.Gain
+	}
+	walkImportance(n.Left, imp)
+	walkImportance(n.Right, imp)
+}

@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"ecosched/internal/simclock"
+)
+
+// GAOptions configure the genetic algorithm — the search strategy of
+// the paper's related-work baseline ("Energy-Optimal Configurations
+// for Single-Node HPC Applications" uses a genetic algorithm to find
+// the optimal configuration; §2.1.2, compared against in Table 3).
+type GAOptions struct {
+	Population  int     // individuals per generation (default 40)
+	Generations int     // evolution steps (default 60)
+	MutationP   float64 // per-gene mutation probability (default 0.15)
+	Elite       int     // individuals copied unchanged (default 2)
+	Seed        uint64
+}
+
+func (o GAOptions) withDefaults() GAOptions {
+	if o.Population <= 0 {
+		o.Population = 40
+	}
+	if o.Generations <= 0 {
+		o.Generations = 60
+	}
+	if o.MutationP <= 0 {
+		o.MutationP = 0.15
+	}
+	if o.Elite <= 0 {
+		o.Elite = 2
+	}
+	if o.Elite > o.Population/2 {
+		o.Elite = o.Population / 2
+	}
+	return o
+}
+
+// Genome is an integer-encoded candidate: gene i takes values in
+// [0, Ranges[i]).
+type Genome []int
+
+// RunGA maximises fitness over integer genomes with the given per-gene
+// ranges, using tournament selection, single-point crossover, uniform
+// mutation and elitism. It returns the best genome found and its
+// fitness.
+func RunGA(ranges []int, fitness func(Genome) float64, opts GAOptions) (Genome, float64, error) {
+	if len(ranges) == 0 {
+		return nil, 0, fmt.Errorf("ml: GA with empty genome")
+	}
+	for i, r := range ranges {
+		if r < 1 {
+			return nil, 0, fmt.Errorf("ml: GA gene %d has range %d", i, r)
+		}
+	}
+	opts = opts.withDefaults()
+	rng := simclock.NewRNG(opts.Seed)
+
+	type scored struct {
+		g   Genome
+		fit float64
+	}
+	newRandom := func() Genome {
+		g := make(Genome, len(ranges))
+		for i, r := range ranges {
+			g[i] = rng.Intn(r)
+		}
+		return g
+	}
+	pop := make([]scored, opts.Population)
+	for i := range pop {
+		g := newRandom()
+		pop[i] = scored{g, fitness(g)}
+	}
+	rank := func() {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].fit > pop[b].fit })
+	}
+	rank()
+
+	tournament := func() Genome {
+		best := pop[rng.Intn(len(pop))]
+		for k := 0; k < 2; k++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.fit > best.fit {
+				best = c
+			}
+		}
+		return best.g
+	}
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		next := make([]scored, 0, opts.Population)
+		next = append(next, pop[:opts.Elite]...)
+		for len(next) < opts.Population {
+			a, b := tournament(), tournament()
+			child := make(Genome, len(ranges))
+			cut := rng.Intn(len(ranges))
+			copy(child, a[:cut])
+			copy(child[cut:], b[cut:])
+			for i, r := range ranges {
+				if rng.Float64() < opts.MutationP {
+					child[i] = rng.Intn(r)
+				}
+			}
+			next = append(next, scored{child, fitness(child)})
+		}
+		pop = next
+		rank()
+	}
+	best := pop[0]
+	out := make(Genome, len(best.g))
+	copy(out, best.g)
+	return out, best.fit, nil
+}

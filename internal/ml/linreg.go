@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearRegression is an ordinary-least-squares model ŷ = w·x + b,
+// fitted via the normal equations with a tiny ridge term for
+// numerical stability on collinear designs.
+type LinearRegression struct {
+	Weights   []float64 `json:"weights"`
+	Intercept float64   `json:"intercept"`
+}
+
+// FitLinear fits OLS on the dataset.
+func FitLinear(d Dataset) (*LinearRegression, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	p := d.Features()
+	n := len(d.X)
+	// Augmented design: [x, 1] so the intercept falls out of the solve.
+	dim := p + 1
+	// Normal equations: (XᵀX + λI)·w = Xᵀy.
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	atb := make([]float64, dim)
+	row := make([]float64, dim)
+	for r := 0; r < n; r++ {
+		copy(row, d.X[r])
+		row[p] = 1
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * d.Y[r]
+		}
+	}
+	const lambda = 1e-9
+	for i := 0; i < dim; i++ {
+		ata[i][i] += lambda * float64(n)
+	}
+	sol, err := SolveLinearSystem(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("ml: OLS solve: %w", err)
+	}
+	return &LinearRegression{Weights: sol[:p], Intercept: sol[p]}, nil
+}
+
+// Predict implements Model.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	sum := l.Intercept
+	for i, w := range l.Weights {
+		if i < len(x) {
+			sum += w * x[i]
+		}
+	}
+	return sum
+}
+
+// SolveLinearSystem solves A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("ml: bad system shape %d×? vs %d", n, len(b))
+	}
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("ml: non-square matrix row %d", i)
+		}
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, fmt.Errorf("ml: singular matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,92 @@
+// Package ml implements the learning machinery Chronus's optimizers
+// are built from — the paper's Python implementations use
+// scikit-learn; here ordinary least squares, CART regression trees,
+// bagged random forests and a genetic algorithm (the related-work
+// baseline of Table 3) are implemented from scratch on the standard
+// library.
+//
+// All fitting is deterministic: anything stochastic (bootstrap
+// sampling, feature subsets, GA operators) draws from a seeded
+// generator supplied by the caller.
+package ml
+
+import "fmt"
+
+// Dataset is a design matrix with aligned targets.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Validate checks shape consistency: non-empty, rectangular, aligned.
+func (d Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return fmt.Errorf("ml: empty dataset")
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d rows but %d targets", len(d.X), len(d.Y))
+	}
+	w := len(d.X[0])
+	if w == 0 {
+		return fmt.Errorf("ml: zero-width rows")
+	}
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// Features returns the feature count.
+func (d Dataset) Features() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Model is anything that predicts a target from a feature vector.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// MSE returns the mean squared error of a model over a dataset.
+func MSE(m Model, d Dataset) float64 {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, row := range d.X {
+		e := m.Predict(row) - d.Y[i]
+		sum += e * e
+	}
+	return sum / float64(len(d.Y))
+}
+
+// R2 returns the coefficient of determination of a model over a
+// dataset (1 = perfect, 0 = no better than the mean).
+func R2(m Model, d Dataset) float64 {
+	if len(d.Y) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, y := range d.Y {
+		mean += y
+	}
+	mean /= float64(len(d.Y))
+	var ssRes, ssTot float64
+	for i, row := range d.X {
+		e := m.Predict(row) - d.Y[i]
+		ssRes += e * e
+		dy := d.Y[i] - mean
+		ssTot += dy * dy
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,108 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions configure the simplex minimiser.
+type NelderMeadOptions struct {
+	MaxIters int     // default 2000
+	Tol      float64 // stop when the simplex's f-spread falls below (default 1e-10)
+	Step     float64 // initial simplex step per coordinate (default 0.1 of |x|, min 0.01)
+}
+
+// NelderMead minimises f over ℝⁿ starting from x0 using the classic
+// downhill-simplex method (reflection, expansion, contraction,
+// shrink). It is derivative-free, which suits the calibration problems
+// here: fitting roofline constants to a measured surface.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("ml: empty start point")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 2000
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), f(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		step := opts.Step
+		if step <= 0 {
+			step = 0.1 * math.Abs(x[i])
+			if step < 0.01 {
+				step = 0.01
+			}
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x, f(x)}
+	}
+	order := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	order()
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		if simplex[n].f-simplex[0].f < opts.Tol {
+			break
+		}
+		// Centroid of all but the worst.
+		centroid := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for j := range centroid {
+				centroid[j] += v.x[j] / float64(n)
+			}
+		}
+		worst := simplex[n]
+		reflect := combine(centroid, worst.x, 1+alpha, -alpha)
+		fr := f(reflect)
+		switch {
+		case fr < simplex[0].f:
+			expand := combine(centroid, worst.x, 1+alpha*gamma, -alpha*gamma)
+			if fe := f(expand); fe < fr {
+				simplex[n] = vertex{expand, fe}
+			} else {
+				simplex[n] = vertex{reflect, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{reflect, fr}
+		default:
+			contract := combine(centroid, worst.x, 1-rho, rho)
+			if fc := f(contract); fc < worst.f {
+				simplex[n] = vertex{contract, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					simplex[i].x = combine(simplex[0].x, simplex[i].x, 1-sigma, sigma)
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+		order()
+	}
+	return simplex[0].x, simplex[0].f, nil
+}
+
+func combine(a, b []float64, wa, wb float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = wa*a[i] + wb*b[i]
+	}
+	return out
+}

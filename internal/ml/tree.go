@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TreeOptions bound CART growth.
+type TreeOptions struct {
+	MaxDepth    int // 0 = unlimited
+	MinLeafSize int // minimum samples per leaf; <1 treated as 1
+	// MaxFeatures limits how many (randomly chosen) features each
+	// split considers; 0 = all. Used by the random forest.
+	MaxFeatures int
+	rng         splitRNG
+}
+
+type splitRNG interface{ Intn(n int) int }
+
+// TreeNode is one node of a regression tree. Exported fields make the
+// tree JSON-serialisable for blob storage.
+type TreeNode struct {
+	Feature   int       `json:"f"` // split feature (leaf: -1)
+	Threshold float64   `json:"t"` // go left when x[f] <= t
+	Value     float64   `json:"v"` // leaf prediction (mean)
+	Gain      float64   `json:"g"` // SSE reduction of this split
+	Left      *TreeNode `json:"l,omitempty"`
+	Right     *TreeNode `json:"r,omitempty"`
+}
+
+// IsLeaf reports whether the node is terminal.
+func (n *TreeNode) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a CART regression tree.
+type Tree struct {
+	Root *TreeNode `json:"root"`
+}
+
+// FitTree grows a regression tree by recursive binary splitting on the
+// squared-error criterion.
+func FitTree(d Dataset, opts TreeOptions) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MinLeafSize < 1 {
+		opts.MinLeafSize = 1
+	}
+	idx := make([]int, len(d.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := growNode(d, idx, opts, 1)
+	return &Tree{Root: root}, nil
+}
+
+// Predict implements Model.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.Root
+	for !n.IsLeaf() {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// Depth returns the maximum depth of the tree (a single leaf = 1).
+func (t *Tree) Depth() int { return nodeDepth(t.Root) }
+
+func nodeDepth(n *TreeNode) int {
+	if n == nil {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if r > l {
+		l = r
+	}
+	return 1 + l
+}
+
+func growNode(d Dataset, idx []int, opts TreeOptions, depth int) *TreeNode {
+	mean := meanOf(d.Y, idx)
+	node := &TreeNode{Feature: -1, Value: mean}
+	if len(idx) < 2*opts.MinLeafSize {
+		return node
+	}
+	if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+		return node
+	}
+	feat, thresh, gain := bestSplit(d, idx, opts)
+	if feat < 0 || gain <= 1e-12 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < opts.MinLeafSize || len(right) < opts.MinLeafSize {
+		return node
+	}
+	node.Feature = feat
+	node.Threshold = thresh
+	node.Gain = gain
+	node.Left = growNode(d, left, opts, depth+1)
+	node.Right = growNode(d, right, opts, depth+1)
+	return node
+}
+
+// bestSplit scans candidate features for the split minimising the
+// summed squared error of the two children.
+func bestSplit(d Dataset, idx []int, opts TreeOptions) (feature int, threshold, gain float64) {
+	p := d.Features()
+	features := make([]int, p)
+	for i := range features {
+		features[i] = i
+	}
+	if opts.MaxFeatures > 0 && opts.MaxFeatures < p && opts.rng != nil {
+		// Fisher–Yates prefix shuffle to pick MaxFeatures features.
+		for i := 0; i < opts.MaxFeatures; i++ {
+			j := i + opts.rng.Intn(p-i)
+			features[i], features[j] = features[j], features[i]
+		}
+		features = features[:opts.MaxFeatures]
+	}
+
+	parentSSE := sseOf(d.Y, idx)
+	feature = -1
+	type pair struct{ x, y float64 }
+	pairs := make([]pair, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			pairs[k] = pair{d.X[i][f], d.Y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
+
+		// Incremental left/right sums for O(n) split evaluation.
+		var lSum, lSq float64
+		var rSum, rSq float64
+		for _, pr := range pairs {
+			rSum += pr.y
+			rSq += pr.y * pr.y
+		}
+		n := float64(len(pairs))
+		ln := 0.0
+		for k := 0; k < len(pairs)-1; k++ {
+			y := pairs[k].y
+			lSum += y
+			lSq += y * y
+			rSum -= y
+			rSq -= y * y
+			ln++
+			if pairs[k].x == pairs[k+1].x {
+				continue // can't split between equal values
+			}
+			rn := n - ln
+			sse := (lSq - lSum*lSum/ln) + (rSq - rSum*rSum/rn)
+			if g := parentSSE - sse; g > gain {
+				gain = g
+				feature = f
+				threshold = (pairs[k].x + pairs[k+1].x) / 2
+			}
+		}
+	}
+	return feature, threshold, gain
+}
+
+func meanOf(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range idx {
+		sum += y[i]
+	}
+	return sum / float64(len(idx))
+}
+
+func sseOf(y []float64, idx []int) float64 {
+	m := meanOf(y, idx)
+	var sum float64
+	for _, i := range idx {
+		d := y[i] - m
+		sum += d * d
+	}
+	return sum
+}
+
+// CountLeaves returns the number of leaves, a complexity measure used
+// in tests.
+func (t *Tree) CountLeaves() int { return countLeaves(t.Root) }
+
+func countLeaves(n *TreeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsLeaf() {
+		return 1
+	}
+	return countLeaves(n.Left) + countLeaves(n.Right)
+}
+
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree(depth=%d, leaves=%d)", t.Depth(), t.CountLeaves())
+}

@@ -1,0 +1,39 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"ecosched/internal/ml"
+	"ecosched/internal/repository"
+)
+
+// CrossValidateR2 returns the k-fold cross-validated R² of an
+// optimizer type's regression surface on a benchmark history. The
+// second return is false for optimizer types that have no regression
+// surface to validate (brute force memorises; genetic shares the
+// forest surrogate and validates as a forest).
+func CrossValidateR2(name string, rows []repository.Benchmark, k int) (float64, bool, error) {
+	var fit func(ml.Dataset) (ml.Model, error)
+	switch name {
+	case NameBruteForce:
+		return 0, false, nil
+	case NameLinear:
+		fit = func(d ml.Dataset) (ml.Model, error) { return ml.FitLinear(d) }
+	case NameRandomForest, NameRandomTree, NameGenetic:
+		fit = func(d ml.Dataset) (ml.Model, error) {
+			return ml.FitForest(d, ml.ForestOptions{Trees: 60, MinLeafSize: 2, MaxFeatures: 2, Seed: 1})
+		}
+	default:
+		return 0, false, fmt.Errorf("optimizer: unknown optimizer type %q", name)
+	}
+	xs, ys := trainingSet(rows)
+	d := ml.Dataset{X: xs, Y: ys}
+	if len(xs) < 2*k {
+		return 0, false, nil // too little history to validate honestly
+	}
+	r2, err := ml.KFoldR2(d, k, fit)
+	if err != nil {
+		return 0, false, err
+	}
+	return r2, true, nil
+}

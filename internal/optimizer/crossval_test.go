@@ -1,0 +1,47 @@
+package optimizer
+
+import "testing"
+
+func TestCrossValidateR2PerType(t *testing.T) {
+	rows := sweepBenchmarks()
+
+	// Brute force: no surface to validate.
+	if _, ok, err := CrossValidateR2(NameBruteForce, rows, 5); err != nil || ok {
+		t.Fatalf("brute force: ok=%v err=%v", ok, err)
+	}
+
+	// The forest must explain the calibrated surface far better than
+	// the raw linear model — the quantitative basis of ablation A1.
+	forestR2, ok, err := CrossValidateR2(NameRandomForest, rows, 5)
+	if err != nil || !ok {
+		t.Fatalf("forest: ok=%v err=%v", ok, err)
+	}
+	linearR2, ok, err := CrossValidateR2(NameLinear, rows, 5)
+	if err != nil || !ok {
+		t.Fatalf("linear: ok=%v err=%v", ok, err)
+	}
+	// Held-out folds force the forest to interpolate between measured
+	// core counts; ~0.7 is the honest generalisation level on 138 rows.
+	if forestR2 < 0.6 {
+		t.Fatalf("forest CV R² = %v on the sweep surface", forestR2)
+	}
+	if forestR2 <= linearR2 {
+		t.Fatalf("forest (%.3f) should beat linear (%.3f) on the roofline surface", forestR2, linearR2)
+	}
+
+	// Genetic validates through its forest surrogate.
+	if _, ok, err := CrossValidateR2(NameGenetic, rows, 5); err != nil || !ok {
+		t.Fatalf("genetic: ok=%v err=%v", ok, err)
+	}
+
+	if _, _, err := CrossValidateR2("perceptron", rows, 5); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestCrossValidateTooFewRows(t *testing.T) {
+	rows := sweepBenchmarks()[:6]
+	if _, ok, err := CrossValidateR2(NameLinear, rows, 5); err != nil || ok {
+		t.Fatalf("6 rows across 5 folds: ok=%v err=%v (should decline, not error)", ok, err)
+	}
+}

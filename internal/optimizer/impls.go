@@ -1,0 +1,256 @@
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+
+	"ecosched/internal/ml"
+	"ecosched/internal/perfmodel"
+	"ecosched/internal/repository"
+)
+
+// ---- Brute force ----
+
+// BruteForce is the paper's simplest optimizer: remember every
+// measured configuration and pick the most efficient one. It predicts
+// only at measured points (exactly what the sweep of Tables 4–6 did by
+// hand).
+type BruteForce struct {
+	Rows []bruteRow `json:"rows"`
+}
+
+type bruteRow struct {
+	Cores   int     `json:"cores"`
+	FreqKHz int     `json:"freq_khz"`
+	TPC     int     `json:"tpc"`
+	Eff     float64 `json:"eff"`
+}
+
+// Name implements Optimizer.
+func (*BruteForce) Name() string { return NameBruteForce }
+
+// Train implements Optimizer. Re-measured configurations keep the
+// latest observation.
+func (b *BruteForce) Train(rows []repository.Benchmark) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("optimizer: brute force needs at least one benchmark")
+	}
+	seen := map[[3]int]int{} // config → index in b.Rows
+	b.Rows = b.Rows[:0]
+	for _, r := range rows {
+		eff := r.GFLOPSPerWatt()
+		if eff <= 0 {
+			continue
+		}
+		key := [3]int{r.Cores, r.FreqKHz, r.ThreadsPerCore}
+		row := bruteRow{r.Cores, r.FreqKHz, r.ThreadsPerCore, eff}
+		if i, ok := seen[key]; ok {
+			b.Rows[i] = row
+			continue
+		}
+		seen[key] = len(b.Rows)
+		b.Rows = append(b.Rows, row)
+	}
+	if len(b.Rows) == 0 {
+		return fmt.Errorf("optimizer: brute force got no usable benchmarks")
+	}
+	return nil
+}
+
+// PredictEfficiency implements Optimizer; unmeasured configurations
+// are an error for brute force.
+func (b *BruteForce) PredictEfficiency(cfg perfmodel.Config) (float64, error) {
+	if len(b.Rows) == 0 {
+		return 0, ErrUntrained
+	}
+	for _, r := range b.Rows {
+		if r.Cores == cfg.Cores && r.FreqKHz == cfg.FreqKHz && r.TPC == cfg.ThreadsPerCore {
+			return r.Eff, nil
+		}
+	}
+	return 0, fmt.Errorf("optimizer: brute force has no measurement for %v", cfg)
+}
+
+// BestConfig implements Optimizer: argmax over measured rows, ignoring
+// the unmeasured remainder of the space.
+func (b *BruteForce) BestConfig(space Space) (perfmodel.Config, error) {
+	if len(b.Rows) == 0 {
+		return perfmodel.Config{}, ErrUntrained
+	}
+	if !space.Valid() {
+		return perfmodel.Config{}, fmt.Errorf("optimizer: invalid search space %+v", space)
+	}
+	best := -1.0
+	var cfg perfmodel.Config
+	for _, r := range b.Rows {
+		if r.Cores > space.MaxCores || r.TPC > space.MaxThreads {
+			continue
+		}
+		if r.Eff > best {
+			best = r.Eff
+			cfg = perfmodel.Config{Cores: r.Cores, FreqKHz: r.FreqKHz, ThreadsPerCore: r.TPC}
+		}
+	}
+	if best < 0 {
+		return perfmodel.Config{}, fmt.Errorf("optimizer: no measured configuration inside the space")
+	}
+	return cfg, nil
+}
+
+// ---- Linear regression ----
+
+// Linear fits OLS on the paper's raw features (cores, GHz, threads per
+// core). It is deliberately as simple as the paper's model interface
+// ("the model interface in the system is simple", §6.1.3): with a
+// linear response it always proposes a corner of the space, which the
+// ablation experiment (A1) quantifies.
+type Linear struct {
+	Model *ml.LinearRegression `json:"model"`
+}
+
+// Name implements Optimizer.
+func (*Linear) Name() string { return NameLinear }
+
+// Train implements Optimizer.
+func (l *Linear) Train(rows []repository.Benchmark) error {
+	xs, ys := trainingSet(rows)
+	if len(xs) < 4 {
+		return fmt.Errorf("optimizer: linear regression needs ≥4 benchmarks, got %d", len(xs))
+	}
+	m, err := ml.FitLinear(ml.Dataset{X: xs, Y: ys})
+	if err != nil {
+		return err
+	}
+	l.Model = m
+	return nil
+}
+
+// PredictEfficiency implements Optimizer.
+func (l *Linear) PredictEfficiency(cfg perfmodel.Config) (float64, error) {
+	if l.Model == nil {
+		return 0, ErrUntrained
+	}
+	return l.Model.Predict(features(cfg)), nil
+}
+
+// BestConfig implements Optimizer.
+func (l *Linear) BestConfig(space Space) (perfmodel.Config, error) {
+	if l.Model == nil {
+		return perfmodel.Config{}, ErrUntrained
+	}
+	return argmaxConfig(space, l.PredictEfficiency)
+}
+
+// ---- Random forest ----
+
+// RandomForest is the paper's strongest model: a bagged forest over
+// the same features, able to capture the non-linear roofline shape.
+type RandomForest struct {
+	Model *ml.Forest `json:"model"`
+	// Options are retained so a retrain reproduces the same forest.
+	Options ml.ForestOptions `json:"options"`
+}
+
+// Name implements Optimizer.
+func (*RandomForest) Name() string { return NameRandomForest }
+
+// Train implements Optimizer.
+func (rf *RandomForest) Train(rows []repository.Benchmark) error {
+	xs, ys := trainingSet(rows)
+	if len(xs) < 8 {
+		return fmt.Errorf("optimizer: random forest needs ≥8 benchmarks, got %d", len(xs))
+	}
+	if rf.Options.Trees == 0 {
+		rf.Options = ml.ForestOptions{Trees: 60, MinLeafSize: 2, MaxFeatures: 2, Seed: 1}
+	}
+	m, err := ml.FitForest(ml.Dataset{X: xs, Y: ys}, rf.Options)
+	if err != nil {
+		return err
+	}
+	rf.Model = m
+	return nil
+}
+
+// PredictEfficiency implements Optimizer.
+func (rf *RandomForest) PredictEfficiency(cfg perfmodel.Config) (float64, error) {
+	if rf.Model == nil {
+		return 0, ErrUntrained
+	}
+	return rf.Model.Predict(features(cfg)), nil
+}
+
+// BestConfig implements Optimizer.
+func (rf *RandomForest) BestConfig(space Space) (perfmodel.Config, error) {
+	if rf.Model == nil {
+		return perfmodel.Config{}, ErrUntrained
+	}
+	return argmaxConfig(space, rf.PredictEfficiency)
+}
+
+// ---- Genetic ----
+
+// Genetic reproduces the related-work baseline's search strategy
+// (Silva et al., §2.1.2): a genetic algorithm over the configuration
+// space. Where the original evaluated each candidate by running it on
+// hardware, Genetic evaluates against a forest surrogate trained on
+// the benchmark history — the same data the other optimizers see.
+type Genetic struct {
+	Surrogate *ml.Forest   `json:"surrogate"`
+	GA        ml.GAOptions `json:"ga"`
+}
+
+// Name implements Optimizer.
+func (*Genetic) Name() string { return NameGenetic }
+
+// Train implements Optimizer.
+func (g *Genetic) Train(rows []repository.Benchmark) error {
+	xs, ys := trainingSet(rows)
+	if len(xs) < 8 {
+		return fmt.Errorf("optimizer: genetic needs ≥8 benchmarks, got %d", len(xs))
+	}
+	m, err := ml.FitForest(ml.Dataset{X: xs, Y: ys}, ml.ForestOptions{Trees: 60, MinLeafSize: 2, MaxFeatures: 2, Seed: 2})
+	if err != nil {
+		return err
+	}
+	g.Surrogate = m
+	if g.GA.Population == 0 {
+		g.GA = ml.GAOptions{Population: 40, Generations: 40, MutationP: 0.2, Seed: 3}
+	}
+	return nil
+}
+
+// PredictEfficiency implements Optimizer.
+func (g *Genetic) PredictEfficiency(cfg perfmodel.Config) (float64, error) {
+	if g.Surrogate == nil {
+		return 0, ErrUntrained
+	}
+	return g.Surrogate.Predict(features(cfg)), nil
+}
+
+// BestConfig implements Optimizer: GA search instead of exhaustive
+// enumeration.
+func (g *Genetic) BestConfig(space Space) (perfmodel.Config, error) {
+	if g.Surrogate == nil {
+		return perfmodel.Config{}, ErrUntrained
+	}
+	if !space.Valid() {
+		return perfmodel.Config{}, fmt.Errorf("optimizer: invalid search space %+v", space)
+	}
+	freqs := append([]int(nil), space.FrequenciesKHz...)
+	sort.Ints(freqs)
+	ranges := []int{space.MaxCores, len(freqs), space.MaxThreads}
+	decode := func(genome ml.Genome) perfmodel.Config {
+		return perfmodel.Config{
+			Cores:          genome[0] + 1,
+			FreqKHz:        freqs[genome[1]],
+			ThreadsPerCore: genome[2] + 1,
+		}
+	}
+	best, _, err := ml.RunGA(ranges, func(genome ml.Genome) float64 {
+		return g.Surrogate.Predict(features(decode(genome)))
+	}, g.GA)
+	if err != nil {
+		return perfmodel.Config{}, err
+	}
+	return decode(best), nil
+}

@@ -1,0 +1,104 @@
+// Package procfs renders a virtual /proc and /sys view of a simulated
+// node. The paper's components identify and inspect the machine by
+// reading Linux special files — Chronus reads the DVFS ladder from
+// /sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies,
+// and job_submit_eco hashes /proc/cpuinfo and /proc/meminfo to build
+// the system identifier (§4.2.1). Routing those reads through this
+// package exercises the same parsing and error-handling paths against
+// the simulated hardware.
+package procfs
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"ecosched/internal/hw"
+)
+
+// FileReader is the narrow read interface consumers depend on. The
+// real system's equivalent is os.ReadFile.
+type FileReader interface {
+	ReadFile(path string) ([]byte, error)
+}
+
+// FS serves virtual /proc and /sys files for one node. Static files
+// are rendered from the node spec; dynamic files (current frequency,
+// governor) reflect the node's live state at read time.
+type FS struct {
+	node *hw.Node
+}
+
+// New returns a virtual procfs over the given node.
+func New(node *hw.Node) *FS { return &FS{node: node} }
+
+// Paths served by FS.
+const (
+	PathCPUInfo    = "/proc/cpuinfo"
+	PathMemInfo    = "/proc/meminfo"
+	PathAvailFreqs = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies"
+	PathCurFreq    = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq"
+	PathGovernor   = "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+	PathIPMIDev    = "/dev/ipmi0"
+)
+
+// ReadFile implements FileReader for the supported paths. Unknown
+// paths return fs.ErrNotExist wrapped with the path, like os.ReadFile.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	switch path {
+	case PathCPUInfo:
+		return []byte(f.renderCPUInfo()), nil
+	case PathMemInfo:
+		return []byte(f.renderMemInfo()), nil
+	case PathAvailFreqs:
+		return []byte(f.renderAvailFreqs()), nil
+	case PathCurFreq:
+		return []byte(fmt.Sprintf("%d\n", f.node.CurrentFreqKHz())), nil
+	case PathGovernor:
+		return []byte(string(f.node.Governor()) + "\n"), nil
+	default:
+		return nil, fmt.Errorf("procfs: read %s: %w", path, fs.ErrNotExist)
+	}
+}
+
+func (f *FS) renderCPUInfo() string {
+	spec := f.node.Spec()
+	var b strings.Builder
+	logical := spec.Cores * spec.ThreadsPerCore
+	mhz := float64(f.node.CurrentFreqKHz()) / 1000
+	for cpu := 0; cpu < logical; cpu++ {
+		core := cpu % spec.Cores // Linux enumerates siblings after all cores
+		fmt.Fprintf(&b, "processor\t: %d\n", cpu)
+		fmt.Fprintf(&b, "vendor_id\t: AuthenticAMD\n")
+		fmt.Fprintf(&b, "model name\t: %s\n", spec.CPUModel)
+		fmt.Fprintf(&b, "cpu MHz\t\t: %.3f\n", mhz)
+		fmt.Fprintf(&b, "physical id\t: 0\n")
+		fmt.Fprintf(&b, "siblings\t: %d\n", logical)
+		fmt.Fprintf(&b, "core id\t\t: %d\n", core)
+		fmt.Fprintf(&b, "cpu cores\t: %d\n", spec.Cores)
+		fmt.Fprintf(&b, "cache size\t: 512 KB\n")
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (f *FS) renderMemInfo() string {
+	totalKB := int64(f.node.Spec().RAMGB) * 1024 * 1024
+	var b strings.Builder
+	fmt.Fprintf(&b, "MemTotal:       %d kB\n", totalKB)
+	fmt.Fprintf(&b, "MemFree:        %d kB\n", totalKB*9/10)
+	fmt.Fprintf(&b, "MemAvailable:   %d kB\n", totalKB*9/10)
+	return b.String()
+}
+
+func (f *FS) renderAvailFreqs() string {
+	freqs := append([]int(nil), f.node.Spec().FrequenciesKHz...)
+	// sysfs lists available frequencies in descending order.
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	parts := make([]string, len(freqs))
+	for i, f := range freqs {
+		parts[i] = fmt.Sprintf("%d", f)
+	}
+	return strings.Join(parts, " ") + "\n"
+}

@@ -1,0 +1,100 @@
+package procfs
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"testing"
+
+	"ecosched/internal/hw"
+	"ecosched/internal/perfmodel"
+	"ecosched/internal/simclock"
+)
+
+func newFS(t *testing.T) (*hw.Node, *FS) {
+	t.Helper()
+	sim := simclock.New()
+	node := hw.NewNode(sim, hw.DefaultSpec(), perfmodel.Default(), 1)
+	return node, New(node)
+}
+
+func TestCPUInfoShape(t *testing.T) {
+	_, f := newFS(t)
+	data, err := f.ReadFile(PathCPUInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if got := strings.Count(text, "processor\t:"); got != 64 {
+		t.Fatalf("cpuinfo lists %d logical CPUs, want 64 (32 cores × 2 threads)", got)
+	}
+	if !strings.Contains(text, "AMD EPYC 7502P") {
+		t.Fatal("cpuinfo missing CPU model name")
+	}
+	if !strings.Contains(text, "cpu cores\t: 32") {
+		t.Fatal("cpuinfo missing physical core count")
+	}
+}
+
+func TestMemInfoShape(t *testing.T) {
+	_, f := newFS(t)
+	data, err := f.ReadFile(PathMemInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "MemTotal:       268435456 kB") {
+		t.Fatalf("meminfo = %q, want 256 GB MemTotal", string(data))
+	}
+}
+
+func TestAvailableFrequenciesDescending(t *testing.T) {
+	_, f := newFS(t)
+	data, err := f.ReadFile(PathAvailFreqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "2500000 2200000 1500000" {
+		t.Fatalf("available frequencies = %q", got)
+	}
+}
+
+func TestDynamicFilesTrackNodeState(t *testing.T) {
+	node, f := newFS(t)
+	read := func(p string) string {
+		t.Helper()
+		b, err := f.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(string(b))
+	}
+	if read(PathCurFreq) != "2500000" {
+		t.Fatalf("cur_freq = %q under performance governor", read(PathCurFreq))
+	}
+	if read(PathGovernor) != "performance" {
+		t.Fatalf("governor = %q", read(PathGovernor))
+	}
+	if err := node.SetGovernor(hw.GovernorPowersave); err != nil {
+		t.Fatal(err)
+	}
+	if read(PathCurFreq) != "1500000" {
+		t.Fatalf("cur_freq = %q under powersave governor", read(PathCurFreq))
+	}
+	if read(PathGovernor) != "powersave" {
+		t.Fatalf("governor = %q after change", read(PathGovernor))
+	}
+}
+
+func TestUnknownPathIsNotExist(t *testing.T) {
+	_, f := newFS(t)
+	_, err := f.ReadFile("/proc/loadavg")
+	if err == nil {
+		t.Fatal("unknown path read succeeded")
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("error %v is not fs.ErrNotExist", err)
+	}
+	if !strings.Contains(err.Error(), "/proc/loadavg") {
+		t.Fatalf("error %v does not name the path", err)
+	}
+}

@@ -1,0 +1,81 @@
+package simclock
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 →
+// xoshiro256**) used by the simulation for sensor noise and workload
+// jitter. We carry our own instead of math/rand so that the stream is
+// stable across Go releases and independent of any global seeding.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG seeds a generator. Any seed, including zero, is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed into the xoshiro state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("simclock: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample (Box–Muller; one value per
+// call, the pair's second value is discarded for simplicity).
+func (r *RNG) Norm() float64 {
+	// Rejection-free polar form would cache state; plain Box–Muller is
+	// fine at simulation sampling rates.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return boxMuller(u1, u2)
+}
+
+// Jitter returns a multiplicative noise factor 1 + scale*N(0,1),
+// clamped to stay positive.
+func (r *RNG) Jitter(scale float64) float64 {
+	f := 1 + scale*r.Norm()
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+func boxMuller(u1, u2 float64) float64 {
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,123 @@
+package slurm
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Text renderings of the user commands the paper's Appendix D checks
+// ("The tests verified that these scripts worked with Slurm by
+// checking squeue and scontrol").
+
+// FormatSqueue renders the queue in squeue's classic column layout.
+func (c *Controller) FormatSqueue() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%18s %9s %18s %8s %2s %10s %5s %s\n",
+		"JOBID", "PARTITION", "NAME", "USER", "ST", "TIME", "NODES", "NODELIST(REASON)")
+	now := c.sim.Now()
+	for _, j := range c.Squeue() {
+		partition := j.Desc.Partition
+		if partition == "" {
+			partition = "batch"
+		}
+		name := j.Desc.Name
+		if name == "" {
+			name = "(null)"
+		}
+		st, elapsed, where := "PD", time.Duration(0), "("+j.Reason+")"
+		if j.State == StateRunning {
+			st = "R"
+			elapsed = now.Sub(j.StartTime)
+			where = j.NodeName
+		}
+		fmt.Fprintf(&b, "%18d %9s %18s %8d %2s %10s %5d %s\n",
+			j.ID, partition, truncate(name, 18), j.Desc.UserID, st,
+			clockFormat(elapsed), 1, where)
+	}
+	return b.String()
+}
+
+// FormatSinfo renders node states in sinfo's layout.
+func (c *Controller) FormatSinfo() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %6s %s\n", "NODELIST", "STATE", "CPUS", "REASON")
+	for _, n := range c.Sinfo() {
+		reason := "none"
+		if n.State == "alloc" {
+			reason = fmt.Sprintf("job %d", n.JobID)
+		}
+		fmt.Fprintf(&b, "%-10s %6s %6d %s\n", n.Name, n.State, n.Cores, reason)
+	}
+	return b.String()
+}
+
+// ScontrolShowJob renders `scontrol show job <id>` key=value output,
+// including the fields the eco plugin rewrites.
+func (c *Controller) ScontrolShowJob(id int) (string, error) {
+	j, ok := c.Job(id)
+	if !ok {
+		return "", fmt.Errorf("slurm: Invalid job id specified (%d)", id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "JobId=%d JobName=%s\n", j.ID, orNull(j.Desc.Name))
+	fmt.Fprintf(&b, "   UserId=%d JobState=%s Reason=%s\n", j.Desc.UserID, j.State, orNull(j.Reason))
+	fmt.Fprintf(&b, "   SubmitTime=%s", j.SubmitTime.Format(time.RFC3339))
+	if !j.StartTime.IsZero() {
+		fmt.Fprintf(&b, " StartTime=%s", j.StartTime.Format(time.RFC3339))
+	}
+	if !j.EndTime.IsZero() {
+		fmt.Fprintf(&b, " EndTime=%s", j.EndTime.Format(time.RFC3339))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "   NumTasks=%d ThreadsPerCore=%d CpuFreqMin=%d CpuFreqMax=%d\n",
+		j.Desc.NumTasks, j.Desc.ThreadsPerCPU, j.Desc.MinFreqKHz, j.Desc.MaxFreqKHz)
+	fmt.Fprintf(&b, "   TimeLimit=%s Comment=%s\n", clockFormat(j.Desc.TimeLimit), orNull(j.Desc.Comment))
+	if j.NodeName != "" {
+		fmt.Fprintf(&b, "   NodeList=%s\n", j.NodeName)
+	}
+	if j.State.Terminal() && j.State != StatePending {
+		fmt.Fprintf(&b, "   ConsumedEnergy=%.0fJ CPUEnergy=%.0fJ\n", j.SystemJ, j.CPUJ)
+	}
+	return b.String(), nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+func orNull(s string) string {
+	if s == "" {
+		return "(null)"
+	}
+	return s
+}
+
+func clockFormat(d time.Duration) string {
+	d = d.Round(time.Second)
+	h := int(d.Hours())
+	m := int(d.Minutes()) % 60
+	s := int(d.Seconds()) % 60
+	if h > 0 {
+		return fmt.Sprintf("%d:%02d:%02d", h, m, s)
+	}
+	return fmt.Sprintf("%d:%02d", m, s)
+}
+
+// FormatSacct renders the accounting the way `sacct --format=...` with
+// energy fields would: one row per finished job, including the
+// consumed-energy columns the evaluation reads.
+func (c *Controller) FormatSacct() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %18s %10s %6s %10s %10s %10s %12s\n",
+		"JobID", "JobName", "State", "Cores", "Elapsed", "SysKJ", "CpuKJ", "GFLOPS/W")
+	for _, r := range c.Accounting().Records() {
+		fmt.Fprintf(&b, "%8d %18s %10s %6d %10s %10.1f %10.1f %12.5f\n",
+			r.JobID, truncate(orNull(r.Name), 18), r.State, r.Cores,
+			clockFormat(r.Runtime()), r.SystemKJ, r.CPUKJ, r.GFLOPSPerWatt())
+	}
+	return b.String()
+}

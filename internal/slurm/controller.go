@@ -1,0 +1,651 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ecosched/internal/hw"
+	"ecosched/internal/perfmodel"
+	"ecosched/internal/simclock"
+)
+
+// Workload models what a job's executable does on a node: how long it
+// runs in a given configuration and at what sustained throughput. The
+// controller resolves workloads by the job's binary path.
+type Workload interface {
+	Name() string
+	// Plan returns (runtime, sustained GFLOPS) for the configuration
+	// on the node. A zero GFLOPS is valid for non-compute jobs.
+	Plan(node *hw.Node, cfg perfmodel.Config) (time.Duration, float64)
+}
+
+// FixedWorkWorkload is a job with a fixed FLOP budget — the HPCG
+// evaluation jobs: runtime = work / throughput(config).
+type FixedWorkWorkload struct {
+	Label string
+	GFLOP float64
+}
+
+// Name implements Workload.
+func (w FixedWorkWorkload) Name() string { return w.Label }
+
+// Plan implements Workload.
+func (w FixedWorkWorkload) Plan(node *hw.Node, cfg perfmodel.Config) (time.Duration, float64) {
+	g := node.Calibration().GFLOPS(cfg)
+	if g <= 0 {
+		return 0, 0
+	}
+	return time.Duration(w.GFLOP / g * float64(time.Second)), g
+}
+
+// SleepWorkload runs for a fixed duration regardless of configuration.
+type SleepWorkload struct {
+	Label string
+	D     time.Duration
+}
+
+// Name implements Workload.
+func (w SleepWorkload) Name() string { return w.Label }
+
+// Plan implements Workload.
+func (w SleepWorkload) Plan(*hw.Node, perfmodel.Config) (time.Duration, float64) { return w.D, 0 }
+
+// NodeInfo is one sinfo row.
+type NodeInfo struct {
+	Name  string
+	State string // "idle" or "alloc"
+	Cores int
+	JobID int // 0 when idle
+}
+
+// nodeD is a slurmd: the per-node daemon owning the hardware.
+type nodeD struct {
+	name    string
+	hw      *hw.Node
+	current *Job
+	hwJob   *hw.Job
+	drained bool
+	// Governor state saved while a --cpu-freq job pins userspace.
+	savedGovernor hw.GovernorKind
+	pinned        bool
+}
+
+// pinFrequency switches the node to the userspace governor at the
+// job's requested frequency — what slurmd's cpu-freq support does —
+// remembering the previous governor for restoration at job end.
+func (n *nodeD) pinFrequency(khz int) error {
+	n.savedGovernor = n.hw.Governor()
+	if err := n.hw.SetGovernor(hw.GovernorUserspace); err != nil {
+		return err
+	}
+	if err := n.hw.SetUserspaceFreq(khz); err != nil {
+		return err
+	}
+	n.pinned = true
+	return nil
+}
+
+// unpinFrequency restores the pre-job governor.
+func (n *nodeD) unpinFrequency() {
+	if !n.pinned {
+		return
+	}
+	n.pinned = false
+	_ = n.hw.SetGovernor(n.savedGovernor)
+}
+
+// Controller is the simulated slurmctld.
+type Controller struct {
+	sim       *simclock.Sim
+	conf      Conf
+	nodes     []*nodeD
+	plugins   []SubmitPlugin
+	jobs      map[int]*Job
+	pending   []*Job
+	nextID    int
+	workloads map[string]Workload
+	fallback  Workload
+	acct      *Accounting
+	onDone    []func(*Job)
+	policy    SchedulingPolicy
+	usage     map[uint32]float64 // user id → consumed CPU-seconds
+}
+
+// NewController builds a controller over the given nodes with the
+// given configuration. Submit plugins named in conf.JobSubmitPlugins
+// must be registered with RegisterPlugin before the first submission.
+func NewController(sim *simclock.Sim, conf Conf, nodes ...*hw.Node) (*Controller, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("slurm: controller needs at least one node")
+	}
+	c := &Controller{
+		sim:       sim,
+		conf:      conf,
+		jobs:      make(map[int]*Job),
+		nextID:    1,
+		workloads: make(map[string]Workload),
+		fallback:  SleepWorkload{Label: "unknown", D: time.Minute},
+		acct:      &Accounting{},
+		policy:    FIFOPolicy{},
+		usage:     make(map[uint32]float64),
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		name := n.Spec().Name
+		if seen[name] {
+			return nil, fmt.Errorf("slurm: duplicate node name %q", name)
+		}
+		seen[name] = true
+		c.nodes = append(c.nodes, &nodeD{name: name, hw: n})
+	}
+	return c, nil
+}
+
+// RegisterPlugin registers a submit plugin implementation. Only
+// plugins named in the configuration's JobSubmitPlugins line are
+// invoked, in configuration order — matching how Slurm loads the
+// plugin only when slurm.conf enables it (paper §3.4.1).
+func (c *Controller) RegisterPlugin(p SubmitPlugin) {
+	c.plugins = append(c.plugins, p)
+}
+
+// RegisterWorkload maps a binary path to its workload model.
+func (c *Controller) RegisterWorkload(binaryPath string, w Workload) {
+	c.workloads[binaryPath] = w
+}
+
+// SetFallbackWorkload sets the workload used for unknown binaries.
+func (c *Controller) SetFallbackWorkload(w Workload) { c.fallback = w }
+
+// SetPolicy selects the scheduling policy (default FIFO).
+func (c *Controller) SetPolicy(p SchedulingPolicy) { c.policy = p }
+
+// Policy returns the active scheduling policy.
+func (c *Controller) Policy() SchedulingPolicy { return c.policy }
+
+// UserUsageCPUSeconds reports a user's accumulated CPU-seconds, the
+// fair-share input.
+func (c *Controller) UserUsageCPUSeconds(uid uint32) float64 { return c.usage[uid] }
+
+// Accounting returns the slurmdbd record store.
+func (c *Controller) Accounting() *Accounting { return c.acct }
+
+// OnCompletion registers a hook invoked when any job reaches a
+// terminal state.
+func (c *Controller) OnCompletion(fn func(*Job)) {
+	c.onDone = append(c.onDone, fn)
+}
+
+// activePlugins returns the registered plugins enabled by slurm.conf,
+// in configuration order.
+func (c *Controller) activePlugins() ([]SubmitPlugin, error) {
+	var out []SubmitPlugin
+	for _, name := range c.conf.JobSubmitPlugins {
+		found := false
+		for _, p := range c.plugins {
+			if p.Name() == name {
+				out = append(out, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("slurm: JobSubmitPlugins names %q but no such plugin is registered", name)
+		}
+	}
+	return out, nil
+}
+
+// Submit is sbatch: run the submit-plugin chain, validate, and queue.
+// Array descriptions must go through SubmitArray.
+func (c *Controller) Submit(desc JobDesc) (*Job, error) {
+	if desc.IsArray() {
+		return nil, fmt.Errorf("slurm: array description submitted directly; use SubmitArray")
+	}
+	plugins, err := c.activePlugins()
+	if err != nil {
+		return nil, err
+	}
+	var pluginTime time.Duration
+	for _, p := range plugins {
+		lat, err := p.JobSubmit(&desc, desc.UserID)
+		pluginTime += lat
+		if err != nil {
+			return nil, fmt.Errorf("slurm: plugin %s rejected job: %w", p.Name(), err)
+		}
+		if pluginTime > c.conf.PluginBudget {
+			return nil, fmt.Errorf("slurm: plugin %s exceeded the submit budget (%v > %v)",
+				p.Name(), pluginTime, c.conf.PluginBudget)
+		}
+	}
+
+	if desc.NumTasks <= 0 {
+		desc.NumTasks = 1
+	}
+	if desc.ThreadsPerCPU <= 0 {
+		desc.ThreadsPerCPU = 1
+	}
+	if desc.TimeLimit <= 0 {
+		desc.TimeLimit = c.conf.DefaultTimeLimit
+	}
+	// Partition handling: fill the default, reject unknown names, cap
+	// the time limit to the partition's MaxTime.
+	if desc.Partition == "" {
+		desc.Partition = c.conf.DefaultPartition().Name
+	}
+	part, ok := c.conf.FindPartition(desc.Partition)
+	if !ok {
+		return nil, fmt.Errorf("slurm: invalid partition specified: %s", desc.Partition)
+	}
+	if part.MaxTime > 0 && desc.TimeLimit > part.MaxTime {
+		desc.TimeLimit = part.MaxTime
+	}
+	if err := c.fits(desc); err != nil {
+		return nil, err
+	}
+	for _, dep := range desc.AfterOK {
+		if _, ok := c.jobs[dep]; !ok {
+			return nil, fmt.Errorf("slurm: dependency on unknown job %d", dep)
+		}
+	}
+
+	job := &Job{
+		ID:         c.nextID,
+		Desc:       desc,
+		State:      StatePending,
+		Reason:     "Priority",
+		SubmitTime: c.sim.Now(),
+	}
+	c.nextID++
+	c.jobs[job.ID] = job
+	c.pending = append(c.pending, job)
+	c.schedule()
+	return job, nil
+}
+
+// SubmitScript parses an sbatch script and submits it. Array requests
+// expand into independent tasks; the first task is returned, as
+// sbatch prints one job id for the whole array.
+func (c *Controller) SubmitScript(script string) (*Job, error) {
+	desc, err := ParseBatchScript(script)
+	if err != nil {
+		return nil, err
+	}
+	if desc.IsArray() {
+		tasks, err := c.SubmitArray(desc)
+		if err != nil {
+			return nil, err
+		}
+		return tasks[0], nil
+	}
+	return c.Submit(desc)
+}
+
+// SubmitArray expands an --array request into independent tasks
+// (name_[index]) and submits each through the normal path — plugins
+// included, as Slurm invokes job_submit per array task.
+func (c *Controller) SubmitArray(desc JobDesc) ([]*Job, error) {
+	if !desc.IsArray() {
+		return nil, fmt.Errorf("slurm: SubmitArray on a non-array description")
+	}
+	if n := desc.ArrayHi - desc.ArrayLo + 1; n > 10000 {
+		return nil, fmt.Errorf("slurm: array of %d tasks exceeds MaxArraySize", n)
+	}
+	base := desc.Name
+	var tasks []*Job
+	for idx := desc.ArrayLo; idx <= desc.ArrayHi; idx++ {
+		task := desc
+		task.ArrayLo, task.ArrayHi = 0, 0
+		task.ArrayIndex = idx
+		if base != "" {
+			task.Name = fmt.Sprintf("%s_%d", base, idx)
+		}
+		job, err := c.Submit(task)
+		if err != nil {
+			return tasks, fmt.Errorf("slurm: array task %d: %w", idx, err)
+		}
+		tasks = append(tasks, job)
+	}
+	return tasks, nil
+}
+
+// WaitForAll advances simulated time until every listed job is
+// terminal.
+func (c *Controller) WaitForAll(ids []int) error {
+	for _, id := range ids {
+		if _, err := c.WaitFor(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fits checks the request against the largest node.
+func (c *Controller) fits(desc JobDesc) error {
+	for _, n := range c.nodes {
+		if nodeSatisfies(n, desc) {
+			return nil
+		}
+	}
+	return fmt.Errorf("slurm: no node can satisfy %d tasks × %d threads × %d MB",
+		desc.NumTasks, desc.ThreadsPerCPU, desc.MemoryMB)
+}
+
+func nodeSatisfies(n *nodeD, desc JobDesc) bool {
+	spec := n.hw.Spec()
+	return desc.NumTasks <= spec.Cores &&
+		desc.ThreadsPerCPU <= spec.ThreadsPerCore &&
+		desc.MemoryMB <= spec.RAMGB*1024
+}
+
+// schedule places pending jobs onto idle nodes in policy order.
+func (c *Controller) schedule() {
+	now := c.sim.Now()
+	c.policy.Order(c.pending, now, c.usage)
+	remaining := c.pending[:0]
+	for _, job := range c.pending {
+		if job.State != StatePending {
+			continue
+		}
+		switch c.dependencyState(job) {
+		case depFailed:
+			job.State = StateCancelled
+			job.Reason = "DependencyNeverSatisfied"
+			job.EndTime = now
+			c.finish(job)
+			continue
+		case depWaiting:
+			job.Reason = "Dependency"
+			remaining = append(remaining, job)
+			continue
+		}
+		if !job.Desc.BeginTime.IsZero() && job.Desc.BeginTime.After(now) {
+			job.Reason = "BeginTime"
+			// Wake up when the job becomes eligible.
+			c.sim.At(job.Desc.BeginTime, c.schedule)
+			remaining = append(remaining, job)
+			continue
+		}
+		node := c.idleNodeFor(job.Desc)
+		if node == nil {
+			job.Reason = "Resources"
+			remaining = append(remaining, job)
+			continue
+		}
+		if err := c.start(job, node); err != nil {
+			job.State = StateFailed
+			job.Reason = err.Error()
+			job.EndTime = now
+			c.finish(job)
+		}
+	}
+	c.pending = remaining
+}
+
+func (c *Controller) idleNodeFor(desc JobDesc) *nodeD {
+	for _, n := range c.nodes {
+		if n.current != nil || n.drained {
+			continue
+		}
+		if nodeSatisfies(n, desc) {
+			return n
+		}
+	}
+	return nil
+}
+
+func (c *Controller) start(job *Job, node *nodeD) error {
+	cfg := job.Desc.Config()
+	w, ok := c.workloads[job.Desc.BinaryPath]
+	if !ok {
+		w = c.fallback
+	}
+
+	hwJob, err := node.hw.StartJob(cfg)
+	if err != nil {
+		return err
+	}
+	// Record the frequency the job actually runs at: a job without
+	// --cpu-freq gets the governor's choice, resolved by slurmd.
+	if job.Desc.MaxFreqKHz == 0 {
+		job.Desc.MaxFreqKHz = hwJob.Config.FreqKHz
+		job.Desc.MinFreqKHz = hwJob.Config.FreqKHz
+	} else {
+		// slurmd pins the userspace governor for --cpu-freq jobs, so
+		// sysfs and telemetry reflect the pinned frequency.
+		if err := node.pinFrequency(hwJob.Config.FreqKHz); err != nil {
+			hwJob.End()
+			return err
+		}
+	}
+	duration, gflops := w.Plan(node.hw, hwJob.Config)
+	now := c.sim.Now()
+
+	// Deadline extension (§6.2.1): a job that cannot finish in time is
+	// cancelled rather than run uselessly.
+	if !job.Desc.Deadline.IsZero() && now.Add(duration).After(job.Desc.Deadline) {
+		hwJob.End()
+		job.State = StateCancelled
+		job.Reason = "DeadlineUnsatisfiable"
+		job.EndTime = now
+		c.finish(job)
+		return nil
+	}
+
+	timedOut := duration > job.Desc.TimeLimit
+	if timedOut {
+		duration = job.Desc.TimeLimit
+	}
+
+	job.State = StateRunning
+	job.Reason = ""
+	job.StartTime = now
+	job.NodeName = node.name
+	job.GFLOPS = gflops
+	node.current = job
+	node.hwJob = hwJob
+
+	sys0, cpu0 := node.hw.EnergyJ()
+	c.sim.After(duration, func() {
+		if node.current != job {
+			return // cancelled meanwhile
+		}
+		hwJob.End()
+		node.unpinFrequency()
+		sys1, cpu1 := node.hw.EnergyJ()
+		job.SystemJ = sys1 - sys0
+		job.CPUJ = cpu1 - cpu0
+		job.EndTime = c.sim.Now()
+		if timedOut {
+			job.State = StateFailed
+			job.Reason = "TimeLimit"
+		} else {
+			job.State = StateCompleted
+		}
+		node.current = nil
+		node.hwJob = nil
+		c.finish(job)
+		c.schedule()
+	})
+	return nil
+}
+
+func (c *Controller) finish(job *Job) {
+	if !job.StartTime.IsZero() && !job.EndTime.IsZero() {
+		c.usage[job.Desc.UserID] += float64(job.Desc.NumTasks) * job.EndTime.Sub(job.StartTime).Seconds()
+	}
+	c.acct.record(job)
+	for _, fn := range c.onDone {
+		fn(job)
+	}
+}
+
+// Cancel is scancel: terminate a pending or running job.
+func (c *Controller) Cancel(id int) error {
+	job, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("slurm: no job %d", id)
+	}
+	if job.State.Terminal() {
+		return fmt.Errorf("slurm: job %d already %s", id, job.State)
+	}
+	if job.State == StateRunning {
+		for _, n := range c.nodes {
+			if n.current == job {
+				n.hwJob.End()
+				n.unpinFrequency()
+				n.current = nil
+				n.hwJob = nil
+				break
+			}
+		}
+	}
+	job.State = StateCancelled
+	job.Reason = "Cancelled by user"
+	job.EndTime = c.sim.Now()
+	c.finish(job)
+	c.schedule()
+	return nil
+}
+
+// Job returns a job by id.
+func (c *Controller) Job(id int) (*Job, bool) {
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Squeue lists pending and running jobs, pending first, by id.
+func (c *Controller) Squeue() []*Job {
+	var out []*Job
+	for _, j := range c.jobs {
+		if !j.State.Terminal() {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].State != out[b].State {
+			return out[a].State == StatePending
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Sinfo reports node states.
+func (c *Controller) Sinfo() []NodeInfo {
+	out := make([]NodeInfo, len(c.nodes))
+	for i, n := range c.nodes {
+		info := NodeInfo{Name: n.name, State: "idle", Cores: n.hw.Spec().Cores}
+		switch {
+		case n.current != nil && n.drained:
+			info.State = "drng" // draining: finishing its job, accepting nothing
+			info.JobID = n.current.ID
+		case n.current != nil:
+			info.State = "alloc"
+			info.JobID = n.current.ID
+		case n.drained:
+			info.State = "drain"
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// DrainNode marks a node unavailable for new jobs (the `scontrol
+// update nodename=X state=drain` admin operation). A running job
+// finishes; nothing new is placed.
+func (c *Controller) DrainNode(name string) error {
+	return c.setDrain(name, true)
+}
+
+// ResumeNode returns a drained node to service.
+func (c *Controller) ResumeNode(name string) error {
+	if err := c.setDrain(name, false); err != nil {
+		return err
+	}
+	c.schedule()
+	return nil
+}
+
+func (c *Controller) setDrain(name string, drained bool) error {
+	for _, n := range c.nodes {
+		if n.name == name {
+			n.drained = drained
+			return nil
+		}
+	}
+	return fmt.Errorf("slurm: no node %q", name)
+}
+
+// WaitFor advances simulated time until the job is terminal. It fails
+// if the simulation runs out of events first (a scheduling deadlock).
+func (c *Controller) WaitFor(id int) (*Job, error) {
+	job, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("slurm: no job %d", id)
+	}
+	for !job.State.Terminal() {
+		if !c.sim.Step() {
+			return job, fmt.Errorf("slurm: job %d stuck in %s with no pending events", id, job.State)
+		}
+	}
+	return job, nil
+}
+
+// Srun submits a job and waits for it — the paper's interactive path.
+func (c *Controller) Srun(desc JobDesc) (*Job, error) {
+	job, err := c.Submit(desc)
+	if err != nil {
+		return nil, err
+	}
+	return c.WaitFor(job.ID)
+}
+
+// Nodes exposes the hardware for telemetry attachment.
+func (c *Controller) Nodes() []*hw.Node {
+	out := make([]*hw.Node, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.hw
+	}
+	return out
+}
+
+// NodeByName returns a node's hardware by name.
+func (c *Controller) NodeByName(name string) (*hw.Node, bool) {
+	for _, n := range c.nodes {
+		if n.name == name {
+			return n.hw, true
+		}
+	}
+	return nil, false
+}
+
+// Dependency resolution states.
+type depState int
+
+const (
+	depReady depState = iota
+	depWaiting
+	depFailed
+)
+
+// dependencyState inspects a job's afterok list.
+func (c *Controller) dependencyState(job *Job) depState {
+	state := depReady
+	for _, dep := range job.Desc.AfterOK {
+		d, ok := c.jobs[dep]
+		if !ok {
+			return depFailed
+		}
+		switch {
+		case d.State == StateCompleted:
+			// satisfied
+		case d.State.Terminal():
+			return depFailed
+		default:
+			state = depWaiting
+		}
+	}
+	return state
+}

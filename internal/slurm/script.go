@@ -1,0 +1,217 @@
+package slurm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseBatchScript extracts job parameters from an sbatch script: the
+// #SBATCH directive lines plus the srun line's per-task options — the
+// format Chronus generates for its benchmark jobs (paper Listing 6):
+//
+//	#!/bin/bash
+//	#SBATCH --nodes=1
+//	#SBATCH --ntasks=32
+//	#SBATCH --cpu-freq=2200000
+//	srun --mpi=pmix_v4 --ntasks-per-core=1 /path/to/xhpcg
+//
+// The returned JobDesc carries Script verbatim; unknown directives are
+// ignored, malformed values are errors.
+func ParseBatchScript(script string) (JobDesc, error) {
+	desc := JobDesc{Script: script, ThreadsPerCPU: 1}
+	for lineNo, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "#SBATCH"):
+			if err := parseDirective(&desc, strings.TrimSpace(strings.TrimPrefix(line, "#SBATCH"))); err != nil {
+				return JobDesc{}, fmt.Errorf("slurm: script line %d: %w", lineNo+1, err)
+			}
+		case strings.HasPrefix(line, "srun "):
+			if err := parseSrunLine(&desc, line); err != nil {
+				return JobDesc{}, fmt.Errorf("slurm: script line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	return desc, nil
+}
+
+func parseDirective(desc *JobDesc, directive string) error {
+	for _, tok := range splitOptions(directive) {
+		key, value, _ := strings.Cut(tok, "=")
+		switch key {
+		case "--ntasks", "-n":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return fmt.Errorf("bad %s value %q", key, value)
+			}
+			desc.NumTasks = n
+		case "--cpu-freq":
+			// Slurm accepts a single frequency or min-max.
+			lo, hi, found := strings.Cut(value, "-")
+			loKHz, err := strconv.Atoi(lo)
+			if err != nil {
+				return fmt.Errorf("bad --cpu-freq value %q", value)
+			}
+			desc.MinFreqKHz = loKHz
+			desc.MaxFreqKHz = loKHz
+			if found {
+				hiKHz, err := strconv.Atoi(hi)
+				if err != nil {
+					return fmt.Errorf("bad --cpu-freq value %q", value)
+				}
+				desc.MaxFreqKHz = hiKHz
+			}
+			if desc.MinFreqKHz <= 0 || desc.MaxFreqKHz < desc.MinFreqKHz {
+				return fmt.Errorf("bad --cpu-freq range %q", value)
+			}
+		case "--comment":
+			desc.Comment = strings.Trim(value, `"'`)
+		case "--job-name", "-J":
+			desc.Name = value
+		case "--partition", "-p":
+			desc.Partition = value
+		case "--time", "-t":
+			minutes, err := strconv.Atoi(value)
+			if err != nil {
+				return fmt.Errorf("bad --time value %q", value)
+			}
+			desc.TimeLimit = time.Duration(minutes) * time.Minute
+		case "--deadline":
+			t, err := time.Parse(time.RFC3339, value)
+			if err != nil {
+				return fmt.Errorf("bad --deadline value %q", value)
+			}
+			desc.Deadline = t
+		case "--begin":
+			t, err := time.Parse(time.RFC3339, value)
+			if err != nil {
+				return fmt.Errorf("bad --begin value %q", value)
+			}
+			desc.BeginTime = t
+		case "--dependency", "-d":
+			spec, found := strings.CutPrefix(value, "afterok:")
+			if !found {
+				return fmt.Errorf("unsupported --dependency %q (only afterok:)", value)
+			}
+			for _, idStr := range strings.Split(spec, ":") {
+				id, err := strconv.Atoi(idStr)
+				if err != nil || id <= 0 {
+					return fmt.Errorf("bad --dependency job id %q", idStr)
+				}
+				desc.AfterOK = append(desc.AfterOK, id)
+			}
+		case "--mem":
+			mb, err := parseMemoryMB(value)
+			if err != nil {
+				return err
+			}
+			desc.MemoryMB = mb
+		case "--array", "-a":
+			lo, hi, found := strings.Cut(value, "-")
+			loN, err := strconv.Atoi(lo)
+			if err != nil {
+				return fmt.Errorf("bad --array value %q", value)
+			}
+			hiN := loN
+			if found {
+				if hiN, err = strconv.Atoi(hi); err != nil {
+					return fmt.Errorf("bad --array value %q", value)
+				}
+			}
+			if hiN < loN || loN < 0 {
+				return fmt.Errorf("bad --array range %q", value)
+			}
+			desc.ArrayLo, desc.ArrayHi = loN, hiN
+		case "--nodes", "-N":
+			// Single-node simulation: accept and require 1.
+			if value != "1" {
+				return fmt.Errorf("only --nodes=1 supported, got %q", value)
+			}
+		}
+	}
+	return nil
+}
+
+func parseSrunLine(desc *JobDesc, line string) error {
+	fields := strings.Fields(line)
+	for _, tok := range fields[1:] {
+		key, value, hasValue := strings.Cut(tok, "=")
+		switch key {
+		case "--ntasks-per-core":
+			if !hasValue {
+				return fmt.Errorf("--ntasks-per-core needs a value")
+			}
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return fmt.Errorf("bad --ntasks-per-core value %q", value)
+			}
+			desc.ThreadsPerCPU = n
+		case "--mpi":
+			// Accepted, irrelevant to the simulation.
+		default:
+			if !strings.HasPrefix(tok, "-") {
+				desc.BinaryPath = tok
+			}
+		}
+	}
+	if desc.BinaryPath == "" {
+		return fmt.Errorf("srun line has no executable")
+	}
+	return nil
+}
+
+// splitOptions splits a directive like `--ntasks=32 --comment "chronus"`
+// into tokens, gluing quoted values to their flag.
+func splitOptions(s string) []string {
+	fields := strings.Fields(s)
+	var out []string
+	for i := 0; i < len(fields); i++ {
+		tok := fields[i]
+		// `--comment "chronus"` (space-separated value) → one token.
+		if strings.HasPrefix(tok, "--") && !strings.Contains(tok, "=") && i+1 < len(fields) && !strings.HasPrefix(fields[i+1], "-") {
+			tok = tok + "=" + fields[i+1]
+			i++
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// RenderBatchScript generates the sbatch file Chronus submits for a
+// benchmark configuration — the Go port of the paper's Listing 6.
+func RenderBatchScript(binaryPath string, cores, freqKHz, threadsPerCore int) string {
+	return fmt.Sprintf(`#!/bin/bash
+#SBATCH --nodes=1
+#SBATCH --ntasks=%d
+#SBATCH --cpu-freq=%d
+
+srun --mpi=pmix_v4 --ntasks-per-core=%d %s
+`, cores, freqKHz, threadsPerCore, binaryPath)
+}
+
+// parseMemoryMB parses Slurm's --mem syntax: a number with an optional
+// K/M/G/T suffix (MB when bare).
+func parseMemoryMB(value string) (int, error) {
+	if value == "" {
+		return 0, fmt.Errorf("empty --mem value")
+	}
+	mult := 1.0
+	num := value
+	switch value[len(value)-1] {
+	case 'K', 'k':
+		mult, num = 1.0/1024, value[:len(value)-1]
+	case 'M', 'm':
+		mult, num = 1, value[:len(value)-1]
+	case 'G', 'g':
+		mult, num = 1024, value[:len(value)-1]
+	case 'T', 't':
+		mult, num = 1024*1024, value[:len(value)-1]
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad --mem value %q", value)
+	}
+	return int(float64(n) * mult), nil
+}

@@ -1,0 +1,16 @@
+package ecosched
+
+import (
+	"ecosched/internal/ecoplugin"
+	"ecosched/internal/procfs"
+	"ecosched/internal/sysinfo"
+)
+
+// newSysInfo returns the lscpu-style provider over a virtual procfs.
+func newSysInfo(fs procfs.FileReader) sysinfo.Provider {
+	return sysinfo.NewLscpu(fs)
+}
+
+// binaryHashFor exposes the plugin's application identifier for the
+// experiment harness.
+func binaryHashFor(path string) string { return ecoplugin.BinaryHash(path) }
