@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...
+
+clean:
+	$(GO) clean -testcache

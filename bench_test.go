@@ -8,9 +8,13 @@ package ecosched
 //
 //	go test -bench=. -benchmem
 import (
+	"context"
+	"os"
 	"testing"
 	"time"
 
+	"ecosched/internal/core"
+	"ecosched/internal/ecoplugin"
 	"ecosched/internal/optimizer"
 	"ecosched/internal/paperdata"
 	"ecosched/internal/repository"
@@ -171,6 +175,50 @@ func BenchmarkSubmitLatency(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(d.Plugin.Rewritten)/float64(b.N), "rewrites/op")
+}
+
+// BenchmarkPredictCacheHit measures the decoded-model cache on the
+// hot path. The model file is deleted after the first prediction, so
+// every iteration that completes proves the hit does no file read, no
+// JSON decode and no optimizer sweep — it is the LatencyLocalRead
+// lookup alone.
+func BenchmarkPredictCacheHit(b *testing.B) {
+	d := benchDeployment(b)
+	if _, err := d.BenchmarkConfigs(QuickSweepConfigs(), 0); err != nil {
+		b.Fatal(err)
+	}
+	meta, err := d.TrainModel("brute-force")
+	if err != nil {
+		b.Fatal(err)
+	}
+	local, err := d.PreloadModel(meta.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sysHash, err := ecoplugin.SystemHash(d.fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := ecoplugin.PredictRequest{SystemHash: sysHash, BinaryHash: ecoplugin.BinaryHash(d.HPCGPath)}
+	ctx := context.Background()
+	if _, err := d.Chronus.Predict.Predict(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	if err := os.Remove(local.Path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Chronus.Predict.Predict(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Source != ecoplugin.SourceCache || res.Latency != core.LatencyLocalRead {
+			b.Fatalf("not a cache hit: source %s, latency %v", res.Source, res.Latency)
+		}
+	}
+	snap := d.Metrics.Snapshot()
+	b.ReportMetric(float64(snap.Counters["chronus.predict.cache_hit"])/float64(b.N), "hits/op")
 }
 
 // BenchmarkGPUSweep is extension X3: the GPU DVFS grid sweep plus the

@@ -9,11 +9,13 @@
 //	chronus -data DIR benchmark [HPCG_PATH] [-configurations FILE] [-quick]
 //	chronus -data DIR init-model -model TYPE [-system ID]
 //	chronus -data DIR load-model [-model ID]
-//	chronus -data DIR slurm-config SYSTEM_HASH BINARY_HASH
+//	chronus -data DIR slurm-config [-n COUNT] SYSTEM_HASH BINARY_HASH
 //	chronus -data DIR set (database|blob-storage|state) VALUE
+//	chronus -data DIR metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 
 	"ecosched"
 	"ecosched/internal/core"
+	"ecosched/internal/ecoplugin"
 	"ecosched/internal/perfmodel"
 )
 
@@ -39,10 +42,17 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set) ...")
+		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics) ...")
 	}
 
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: *dataDir, LogW: os.Stdout})
+	// metrics only reads the accumulated snapshot file; it needs no
+	// deployment (and must not wire one, or it would flush an empty
+	// snapshot on Close).
+	if rest[0] == "metrics" {
+		return cmdMetrics(*dataDir, rest[1:])
+	}
+
+	d, err := ecosched.New(*dataDir, ecosched.WithLogWriter(os.Stdout))
 	if err != nil {
 		return err
 	}
@@ -176,19 +186,47 @@ func cmdLoadModel(d *ecosched.Deployment, args []string) error {
 		return err
 	}
 	fmt.Printf("model %d pre-loaded to %s\n", local.ModelID, local.Path)
+	fmt.Printf("predict with: chronus slurm-config %s %s\n", local.SystemHash, local.AppHash)
 	return nil
 }
 
 func cmdSlurmConfig(d *ecosched.Deployment, args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: chronus slurm-config SYSTEM_HASH BINARY_HASH")
-	}
-	cfg, latency, err := d.Chronus.Predict.Predict(args[0], args[1])
-	if err != nil {
+	fs := flag.NewFlagSet("slurm-config", flag.ContinueOnError)
+	repeat := fs.Int("n", 1, "repeat the prediction COUNT times (a submission burst; repeats hit the cache)")
+	budget := fs.Duration("budget", 0, "refuse predictions whose latency would exceed this budget (0 = unenforced)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fmt.Println(core.ConfigJSONOutput(cfg))
-	fmt.Fprintf(os.Stderr, "decision latency: %v\n", latency)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: chronus slurm-config [-n COUNT] [-budget DUR] SYSTEM_HASH BINARY_HASH")
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	req := ecoplugin.PredictRequest{SystemHash: fs.Arg(0), BinaryHash: fs.Arg(1), Budget: *budget}
+	for i := 0; i < *repeat; i++ {
+		res, err := d.Chronus.Predict.Predict(context.Background(), req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.ConfigJSONOutput(res.Config))
+		fmt.Fprintf(os.Stderr, "decision latency: %v (%s)\n", res.Latency, res.Source)
+	}
+	return nil
+}
+
+func cmdMetrics(dataDir string, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: chronus metrics")
+	}
+	snap, err := ecosched.ReadMetrics(dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("no metrics recorded yet in %s — run a command first", dataDir)
+		}
+		return err
+	}
+	snap.WriteText(os.Stdout)
 	return nil
 }
 

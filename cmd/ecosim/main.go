@@ -36,7 +36,7 @@ func run(dataDir, model string, full bool) error {
 		defer os.RemoveAll(dir)
 	}
 
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir, LogW: os.Stdout})
+	d, err := ecosched.New(dir, ecosched.WithLogWriter(os.Stdout))
 	if err != nil {
 		return err
 	}
@@ -50,6 +50,18 @@ func run(dataDir, model string, full bool) error {
 	if _, err := d.BenchmarkConfigs(configs, 0); err != nil {
 		return err
 	}
+
+	// An opt-in submission before any model exists: the plugin must
+	// fail open and let the job through unmodified.
+	fmt.Println("== sbatch HPCG --comment \"chronus\" (no model yet: plugin falls back) ==")
+	early, err := d.SubmitHPCGOptIn()
+	if err != nil {
+		return err
+	}
+	if _, err := d.Cluster.WaitFor(early.ID); err != nil {
+		return err
+	}
+	fmt.Printf("plugin fallbacks so far: %d (job ran unmodified)\n", d.Plugin.Fallbacks)
 
 	fmt.Printf("== chronus init-model --model %s ==\n", model)
 	meta, err := d.TrainModel(model)

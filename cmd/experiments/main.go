@@ -34,7 +34,7 @@ func run(exp string) error {
 	}
 	defer os.RemoveAll(dir)
 
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+	d, err := ecosched.New(dir)
 	if err != nil {
 		return err
 	}
@@ -56,9 +56,7 @@ func run(exp string) error {
 	if want("fig1") {
 		ran = true
 		fmt.Println("== Figure 1: Chronus making an energy benchmark ==")
-		logged, err := ecosched.NewDeployment(ecosched.Options{
-			DataDir: dir + "/fig1", LogW: os.Stdout,
-		})
+		logged, err := ecosched.New(dir+"/fig1", ecosched.WithLogWriter(os.Stdout))
 		if err != nil {
 			return err
 		}
@@ -141,7 +139,7 @@ func run(exp string) error {
 	if want("fig13") {
 		ran = true
 		fmt.Println("== Figure 13/16: watch-total-power (ipmitool sdr list | grep Total) ==")
-		wd, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir + "/fig13"})
+		wd, err := ecosched.New(dir + "/fig13")
 		if err != nil {
 			return err
 		}
@@ -209,7 +207,7 @@ func run(exp string) error {
 	if want("ablation-preload") {
 		ran = true
 		// Needs its own deployment with a small sweep + model.
-		pd, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir + "/preload"})
+		pd, err := ecosched.New(dir + "/preload")
 		if err != nil {
 			return err
 		}
@@ -236,5 +234,7 @@ func run(exp string) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	fmt.Println()
+	d.WriteMetrics(os.Stdout)
 	return nil
 }

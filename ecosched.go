@@ -26,8 +26,11 @@
 package ecosched
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -36,6 +39,7 @@ import (
 	"ecosched/internal/ecoplugin"
 	"ecosched/internal/hw"
 	"ecosched/internal/ipmi"
+	"ecosched/internal/metrics"
 	"ecosched/internal/paperdata"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/procfs"
@@ -97,6 +101,33 @@ type Options struct {
 	LogW io.Writer
 }
 
+// Option mutates Options — the functional configuration of New.
+type Option func(*Options)
+
+// WithNodes sets the cluster size.
+func WithNodes(n int) Option { return func(o *Options) { o.Nodes = n } }
+
+// WithRooflineNodes adds roofline-modelled nodes (§6.2.3).
+func WithRooflineNodes(n int) Option { return func(o *Options) { o.RooflineNodes = n } }
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithRepository selects the storage backend.
+func WithRepository(kind RepositoryKind) Option { return func(o *Options) { o.Repository = kind } }
+
+// WithHPCGPath overrides the benchmark binary path.
+func WithHPCGPath(path string) Option { return func(o *Options) { o.HPCGPath = path } }
+
+// WithPluginState sets the eco plugin's initial state.
+func WithPluginState(state settings.State) Option { return func(o *Options) { o.PluginState = state } }
+
+// WithSlurmConf overrides the slurm.conf text.
+func WithSlurmConf(conf string) Option { return func(o *Options) { o.SlurmConf = conf } }
+
+// WithLogWriter directs Chronus log output.
+func WithLogWriter(w io.Writer) Option { return func(o *Options) { o.LogW = w } }
+
 // Deployment is a wired, running simulated installation.
 type Deployment struct {
 	Sim      *simclock.Sim
@@ -109,14 +140,42 @@ type Deployment struct {
 	Blob     blob.Store
 	Settings settings.Store
 	HPCGPath string
+	// Metrics is the deployment-wide observability registry shared by
+	// the controller, the plugin and Chronus. Close merges its
+	// snapshot into DataDir/metrics.json so counters accumulate across
+	// CLI invocations (`chronus metrics` reads that file).
+	Metrics *metrics.Registry
 
-	fs procfs.FileReader
+	fs      procfs.FileReader
+	dataDir string
+	// closers tear down everything acquired during construction, in
+	// reverse acquisition order. Both the NewDeployment error paths
+	// and Close run the same list, so a store acquired after a failing
+	// step can never leak.
+	closers []func() error
+}
+
+// New builds a deployment for dataDir, configured by functional
+// options — the preferred constructor:
+//
+//	d, err := ecosched.New(dir, ecosched.WithNodes(4), ecosched.WithSeed(7))
+func New(dataDir string, opts ...Option) (*Deployment, error) {
+	o := Options{DataDir: dataDir}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return buildDeployment(o)
 }
 
 // NewDeployment builds the full stack of the paper's Figure 2 in
 // simulation: head node (slurmctld + Chronus + eco plugin), compute
-// node(s) with BMCs, and the storage substrate.
+// node(s) with BMCs, and the storage substrate. It is the
+// struct-options compatibility wrapper around New.
 func NewDeployment(opts Options) (*Deployment, error) {
+	return buildDeployment(opts)
+}
+
+func buildDeployment(opts Options) (*Deployment, error) {
 	if opts.DataDir == "" {
 		return nil, fmt.Errorf("ecosched: Options.DataDir is required")
 	}
@@ -168,6 +227,18 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.New()
+	cluster.SetMetrics(reg)
+
+	// Everything acquired from here on registers a closer; on any
+	// construction error the same closers run (in reverse) that Close
+	// would, so no store outlives a failed wiring.
+	var closers []func() error
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]() //nolint:errcheck — construction already failed
+		}
+	}
 
 	var repo repository.Repository
 	switch opts.Repository {
@@ -181,23 +252,24 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	if err != nil {
 		return nil, err
 	}
+	closers = append(closers, repo.Close)
 
 	blobStore, err := blob.NewDir(filepath.Join(opts.DataDir, "blobs"))
 	if err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 	settingsStore := settings.NewEtcStore(filepath.Join(opts.DataDir, "etc", "chronus", "settings.json"))
 	initial, err := settingsStore.Load()
 	if err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 	initial.State = opts.PluginState
 	initial.DatabasePath = filepath.Join(opts.DataDir, "database")
 	initial.BlobStoragePath = filepath.Join(opts.DataDir, "blobs")
 	if err := settingsStore.Save(initial); err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 
@@ -205,12 +277,12 @@ func NewDeployment(opts Options) (*Deployment, error) {
 	fs := procfs.New(headNode)
 	system, err := core.NewIPMISystemService(sim, bmcs[0], headNode, false)
 	if err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 	runner, err := core.NewHPCGRunner(cluster, opts.HPCGPath, calib.JobGFLOP)
 	if err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 
@@ -225,29 +297,84 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		LocalDir: filepath.Join(opts.DataDir, "opt", "chronus", "optimizer"),
 		Now:      sim.Now,
 		LogW:     opts.LogW,
+		Metrics:  reg,
 	})
 	if err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 
-	plugin, err := ecoplugin.New(fs, chronus.Predict, settingsStore)
+	plugin, err := ecoplugin.New(fs, chronus.Predict, settingsStore,
+		ecoplugin.WithBudget(conf.EcoBudget), ecoplugin.WithMetrics(reg))
 	if err != nil {
-		repo.Close()
+		cleanup()
 		return nil, err
 	}
 	cluster.RegisterPlugin(plugin)
 
-	return &Deployment{
+	d := &Deployment{
 		Sim: sim, Cluster: cluster, Nodes: nodes, BMCs: bmcs,
 		Chronus: chronus, Plugin: plugin,
 		Repo: repo, Blob: blobStore, Settings: settingsStore,
-		HPCGPath: opts.HPCGPath, fs: fs,
-	}, nil
+		HPCGPath: opts.HPCGPath, Metrics: reg,
+		fs: fs, dataDir: opts.DataDir,
+	}
+	// Persist metrics last-registered so Close flushes them before the
+	// stores go away.
+	closers = append(closers, d.persistMetrics)
+	d.closers = closers
+	return d, nil
 }
 
-// Close releases storage resources.
-func (d *Deployment) Close() error { return d.Repo.Close() }
+// Close tears down everything the deployment acquired, in reverse
+// acquisition order, and reports every failure (not just the first).
+// It also flushes the metrics registry to DataDir/metrics.json.
+func (d *Deployment) Close() error {
+	var errs []error
+	for i := len(d.closers) - 1; i >= 0; i-- {
+		if err := d.closers[i](); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	d.closers = nil
+	return errors.Join(errs...)
+}
+
+// MetricsFile is the DataDir-relative file metric snapshots accumulate
+// in across CLI invocations.
+const MetricsFile = "metrics.json"
+
+// persistMetrics merges the registry's snapshot into
+// DataDir/metrics.json: counters add up across invocations, gauges
+// and percentiles keep the most recent run's values.
+func (d *Deployment) persistMetrics() error {
+	current := d.Metrics.Snapshot()
+	path := filepath.Join(d.dataDir, MetricsFile)
+	accumulated, err := ReadMetrics(d.dataDir)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	accumulated.Merge(current)
+	data, err := json.MarshalIndent(accumulated, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadMetrics loads the accumulated metrics snapshot for a data
+// directory — what `chronus metrics` prints.
+func ReadMetrics(dataDir string) (metrics.Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dataDir, MetricsFile))
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return metrics.Snapshot{}, fmt.Errorf("ecosched: %s: %w", MetricsFile, err)
+	}
+	return s, nil
+}
 
 // PaperSweepConfigs returns the 138 configurations of Tables 4–6.
 func PaperSweepConfigs() []Config {

@@ -19,7 +19,7 @@ func ExampleNewDeployment() {
 	}
 	defer os.RemoveAll(dir)
 
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+	d, err := ecosched.New(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func ExampleNewDeployment() {
 func ExampleDeployment_EstimateEnergyKJ() {
 	dir, _ := os.MkdirTemp("", "example")
 	defer os.RemoveAll(dir)
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+	d, err := ecosched.New(dir)
 	if err != nil {
 		log.Fatal(err)
 	}

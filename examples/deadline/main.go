@@ -25,7 +25,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir})
+	d, err := ecosched.New(dir)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	d, err := ecosched.NewDeployment(ecosched.Options{DataDir: dir, Nodes: 4})
+	d, err := ecosched.New(dir, ecosched.WithNodes(4))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package ecosched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"ecosched/internal/ecoplugin"
 	"ecosched/internal/hw"
 	"ecosched/internal/ipmi"
 	"ecosched/internal/optimizer"
@@ -436,21 +438,26 @@ func (d *Deployment) RunPreloadAblation(modelID int64) (*PreloadAblationResult, 
 	sysHash := systems[0].ProcHash
 	binHash := binaryHashFor(d.HPCGPath)
 
+	req := ecoplugin.PredictRequest{SystemHash: sysHash, BinaryHash: binHash}
+
 	// Cold path first (nothing pre-loaded yet).
 	d.Chronus.Predict.AllowColdLoad = true
-	_, coldLat, err := d.Chronus.Predict.Predict(sysHash, binHash)
+	cold, err := d.Chronus.Predict.Predict(context.Background(), req)
 	d.Chronus.Predict.AllowColdLoad = false
 	if err != nil {
 		return nil, fmt.Errorf("ecosched: cold predict: %w", err)
 	}
 
+	// PreloadModel invalidates the pair's cache entry, so the warm
+	// prediction below measures the pre-loaded path, not a cache hit.
 	if _, err := d.PreloadModel(modelID); err != nil {
 		return nil, err
 	}
-	_, warmLat, err := d.Chronus.Predict.Predict(sysHash, binHash)
+	warm, err := d.Chronus.Predict.Predict(context.Background(), req)
 	if err != nil {
 		return nil, fmt.Errorf("ecosched: pre-loaded predict: %w", err)
 	}
+	coldLat, warmLat := cold.Latency, warm.Latency
 
 	return &PreloadAblationResult{
 		ColdLatency:    coldLat,

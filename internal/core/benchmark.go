@@ -119,8 +119,11 @@ func (s *BenchmarkService) benchmarkOne(runID, sysID int64, appHash string, cfg 
 	result, err := s.deps.Runner.Run(cfg)
 	trace := stop()
 	if err != nil {
+		s.deps.Metrics.Counter("chronus.benchmark.failed").Inc()
 		return repository.Benchmark{}, err
 	}
+	s.deps.Metrics.Counter("chronus.benchmark.runs").Inc()
+	s.deps.Metrics.Histogram("chronus.benchmark.job_runtime").ObserveDuration(result.Runtime)
 	agg, err := trace.Aggregate()
 	if err != nil {
 		return repository.Benchmark{}, fmt.Errorf("core: benchmark trace: %w", err)

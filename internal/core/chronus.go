@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ecosched/internal/blob"
+	"ecosched/internal/metrics"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/procfs"
 	"ecosched/internal/repository"
@@ -62,6 +63,9 @@ type Deps struct {
 	LocalDir string           // head-node model directory (paper: /opt/chronus/optimizer)
 	Now      func() time.Time // simulated clock
 	LogW     io.Writer        // nil = discard
+	// Metrics is the optional observability registry; nil disables
+	// instrumentation (every metrics type is nil-safe).
+	Metrics *metrics.Registry
 }
 
 func (d Deps) validate() error {
@@ -91,8 +95,9 @@ func (d Deps) validate() error {
 // Chronus bundles the five services behind one handle, the way the
 // CLI's five commands map onto them.
 type Chronus struct {
-	deps Deps
-	log  *log.Logger
+	deps  Deps
+	log   *log.Logger
+	cache *modelCache
 
 	Benchmark *BenchmarkService
 	InitModel *InitModelService
@@ -103,6 +108,14 @@ type Chronus struct {
 
 // New validates the wiring and constructs the service bundle.
 func New(deps Deps) (*Chronus, error) {
+	return newWithCache(deps, newModelCache())
+}
+
+// newWithCache builds the bundle around an existing prediction cache,
+// so rewires (WithRunner) keep the warmed entries and, crucially, the
+// invalidation hooks of the new handle still reach the cache the old
+// handle's PredictService serves from.
+func newWithCache(deps Deps, cache *modelCache) (*Chronus, error) {
 	if err := deps.validate(); err != nil {
 		return nil, err
 	}
@@ -111,11 +124,11 @@ func New(deps Deps) (*Chronus, error) {
 		w = io.Discard
 	}
 	logger := log.New(w, "chronus ", 0)
-	c := &Chronus{deps: deps, log: logger}
+	c := &Chronus{deps: deps, log: logger, cache: cache}
 	c.Benchmark = &BenchmarkService{deps: deps, log: logger}
 	c.InitModel = &InitModelService{deps: deps, log: logger}
-	c.LoadModel = &LoadModelService{deps: deps, log: logger}
-	c.Predict = &PredictService{deps: deps}
-	c.Set = &SetService{deps: deps}
+	c.LoadModel = &LoadModelService{deps: deps, log: logger, cache: cache}
+	c.Predict = &PredictService{deps: deps, cache: cache}
+	c.Set = &SetService{deps: deps, cache: cache}
 	return c, nil
 }

@@ -205,11 +205,11 @@ func TestMultiApplicationModels(t *testing.T) {
 
 	// Both models are pre-loaded simultaneously; predictions diverge.
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
-	hpcgCfg, _, err := r.chronus.Predict.Predict(sysHash, hpcgMeta.AppHash)
+	hpcgCfg, _, err := doPredict(r.chronus.Predict, sysHash, hpcgMeta.AppHash)
 	if err != nil {
 		t.Fatal(err)
 	}
-	streamCfg, _, err := r.chronus.Predict.Predict(sysHash, streamMeta.AppHash)
+	streamCfg, _, err := doPredict(r.chronus.Predict, sysHash, streamMeta.AppHash)
 	if err != nil {
 		t.Fatal(err)
 	}

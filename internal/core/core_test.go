@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,6 +22,13 @@ import (
 )
 
 const hpcgPath = "/opt/hpcg/build/bin/xhpcg"
+
+// doPredict adapts the request/result Predict API to the positional
+// shape most tests want.
+func doPredict(s *PredictService, sysHash, binHash string) (perfmodel.Config, time.Duration, error) {
+	res, err := s.Predict(context.Background(), ecoplugin.PredictRequest{SystemHash: sysHash, BinaryHash: binHash})
+	return res.Config, res.Latency, err
+}
 
 // rig is a fully wired single-node Chronus deployment on simulated
 // hardware.
@@ -286,7 +294,7 @@ func TestPredictFromPreloadedModel(t *testing.T) {
 
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
 	binHash := ecoplugin.BinaryHash(hpcgPath)
-	got, latency, err := r.chronus.Predict.Predict(sysHash, binHash)
+	got, latency, err := doPredict(r.chronus.Predict, sysHash, binHash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +311,7 @@ func TestPredictWithoutPreloadErrors(t *testing.T) {
 	r := newRig(t)
 	benchmarkSweep(t, r)
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
-	if _, _, err := r.chronus.Predict.Predict(sysHash, ecoplugin.BinaryHash(hpcgPath)); err == nil {
+	if _, _, err := doPredict(r.chronus.Predict, sysHash, ecoplugin.BinaryHash(hpcgPath)); err == nil {
 		t.Fatal("prediction without a pre-loaded model succeeded")
 	}
 }
@@ -316,7 +324,7 @@ func TestPredictColdLoadFallback(t *testing.T) {
 
 	r.chronus.Predict.AllowColdLoad = true
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
-	got, latency, err := r.chronus.Predict.Predict(sysHash, ecoplugin.BinaryHash(hpcgPath))
+	got, latency, err := doPredict(r.chronus.Predict, sysHash, ecoplugin.BinaryHash(hpcgPath))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +343,7 @@ func TestPredictAppHashMismatch(t *testing.T) {
 	meta, _ := r.chronus.InitModel.Run("brute-force", systems[0].ID)
 	r.chronus.LoadModel.Run(meta.ID)
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
-	if _, _, err := r.chronus.Predict.Predict(sysHash, "some-other-binary"); err == nil {
+	if _, _, err := doPredict(r.chronus.Predict, sysHash, "some-other-binary"); err == nil {
 		t.Fatal("mismatched application hash accepted")
 	}
 }
@@ -343,7 +351,7 @@ func TestPredictAppHashMismatch(t *testing.T) {
 func TestPredictUnknownSystem(t *testing.T) {
 	r := newRig(t)
 	r.chronus.Predict.AllowColdLoad = true
-	if _, _, err := r.chronus.Predict.Predict("nope", "nope"); err == nil {
+	if _, _, err := doPredict(r.chronus.Predict, "nope", "nope"); err == nil {
 		t.Fatal("unknown system accepted")
 	}
 }

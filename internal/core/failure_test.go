@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -123,7 +124,7 @@ func TestPredictCorruptLocalModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
-	if _, _, err := r.chronus.Predict.Predict(sysHash, ecoplugin.BinaryHash(hpcgPath)); err == nil {
+	if _, _, err := doPredict(r.chronus.Predict, sysHash, ecoplugin.BinaryHash(hpcgPath)); err == nil {
 		t.Fatal("corrupt model file accepted")
 	}
 }
@@ -136,7 +137,7 @@ func TestPredictMissingLocalFile(t *testing.T) {
 	local, _ := r.chronus.LoadModel.Run(meta.ID)
 	os.Remove(local.Path)
 	sysHash, _ := ecoplugin.SystemHash(r.fs)
-	if _, _, err := r.chronus.Predict.Predict(sysHash, ecoplugin.BinaryHash(hpcgPath)); err == nil {
+	if _, _, err := doPredict(r.chronus.Predict, sysHash, ecoplugin.BinaryHash(hpcgPath)); err == nil {
 		t.Fatal("missing model file accepted")
 	}
 }
@@ -195,8 +196,8 @@ func TestBenchmarkRepoWriteFailure(t *testing.T) {
 // slowPredictor simulates a Chronus that blows the submit budget.
 type slowPredictor struct{}
 
-func (slowPredictor) Predict(string, string) (perfmodel.Config, time.Duration, error) {
-	return perfmodel.BestConfig(), 10 * time.Second, nil
+func (slowPredictor) Predict(context.Context, ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
+	return ecoplugin.PredictResult{Config: perfmodel.BestConfig(), Latency: 10 * time.Second, Source: ecoplugin.SourcePreloaded}, nil
 }
 
 func TestSlurmRejectsBudgetBlowingPredictor(t *testing.T) {

@@ -115,8 +115,9 @@ type LocalModelFile struct {
 // register it in the local settings, so prediction stays inside
 // Slurm's submit-time budget (paper §3.1.2, red arrows).
 type LoadModelService struct {
-	deps Deps
-	log  *log.Logger
+	deps  Deps
+	log   *log.Logger
+	cache *modelCache
 }
 
 // Models lists stored model metadata — what the CLI shows when
@@ -169,6 +170,10 @@ func (s *LoadModelService) Run(modelID int64) (settings.LocalModel, error) {
 	if err := s.deps.Settings.Save(cfg); err != nil {
 		return settings.LocalModel{}, err
 	}
+	// The pair now resolves to a different model; a cached prediction
+	// for it would be stale.
+	s.cache.invalidate(file.SystemHash, meta.AppHash)
+	s.deps.Metrics.Counter("chronus.model.loads").Inc()
 	s.log.Printf("model %d pre-loaded to %s", meta.ID, path)
 	return local, nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -27,8 +29,17 @@ const (
 // the system and binary hashes from job_submit_eco, return the
 // energy-efficient configuration (paper §3.1.2, purple arrows). It
 // implements ecoplugin.Predictor.
+//
+// Repeated predictions for the same (system, application) pair are
+// answered from an in-memory cache of the decoded optimizer and its
+// precomputed best configuration: a hit costs only LatencyLocalRead —
+// no file read, no JSON decode, no optimizer sweep. Concurrent cold
+// lookups for the same pair are deduplicated (singleflight), and
+// `chronus load-model` / `chronus set` invalidate the affected
+// entries.
 type PredictService struct {
-	deps Deps
+	deps  Deps
+	cache *modelCache
 	// AllowColdLoad permits falling back to the database + blob
 	// storage when no model is pre-loaded. The A2 ablation enables it
 	// to demonstrate the latency-budget violation; production keeps it
@@ -38,79 +49,145 @@ type PredictService struct {
 
 var _ ecoplugin.Predictor = (*PredictService)(nil)
 
-// Predict implements ecoplugin.Predictor.
-func (s *PredictService) Predict(systemHash, binaryHash string) (perfmodel.Config, time.Duration, error) {
-	cfg, err := s.deps.Settings.Load()
-	latency := LatencyLocalRead
-	if err != nil {
-		return perfmodel.Config{}, latency, err
+// Predict implements ecoplugin.Predictor. When req.Budget is set and
+// the chosen path's projected latency cannot fit, it refuses up front
+// with ecoplugin.ErrBudgetExceeded rather than burning the time — the
+// plugin then submits the job unmodified.
+func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ecoplugin.PredictResult{}, err
 	}
-	if local, ok := cfg.FindModelByHash(systemHash, binaryHash); ok {
+	m := s.deps.Metrics
+	key := cacheKey{req.SystemHash, req.BinaryHash}
+
+	if e, ok := s.cache.peek(key); ok {
+		m.Counter("chronus.predict.cache_hit").Inc()
+		res := ecoplugin.PredictResult{Config: e.best, Latency: LatencyLocalRead, Source: ecoplugin.SourceCache}
+		m.Histogram("chronus.predict.latency").ObserveDuration(res.Latency)
+		return res, nil
+	}
+	m.Counter("chronus.predict.cache_miss").Inc()
+
+	e, isLoader := s.cache.lookup(key)
+	if !isLoader {
+		select {
+		case <-ctx.Done():
+			return ecoplugin.PredictResult{}, ctx.Err()
+		case <-e.done:
+		}
+	} else {
+		best, opt, latency, source, err := s.load(req)
+		s.cache.finish(key, e, best, opt, latency, source, err)
+		m.Gauge("chronus.predict.cache_entries").Set(float64(s.cache.size()))
+	}
+
+	if e.err != nil {
+		if errors.Is(e.err, ecoplugin.ErrBudgetExceeded) {
+			m.Counter("chronus.predict.budget_violations").Inc()
+		}
+		return ecoplugin.PredictResult{Latency: e.latency}, e.err
+	}
+	// Waiters ride the loader's work and share its cost and source.
+	res := ecoplugin.PredictResult{Config: e.best, Latency: e.latency, Source: e.source}
+	m.Histogram("chronus.predict.latency").ObserveDuration(res.Latency)
+	return res, nil
+}
+
+// load performs one uncached prediction: the pre-loaded local-disk
+// path when the model registry knows the pair, the cold database +
+// blob path otherwise (A2 only). The returned latency is what the
+// path cost, including the portion spent before an error.
+func (s *PredictService) load(req ecoplugin.PredictRequest) (perfmodel.Config, optimizer.Optimizer, time.Duration, ecoplugin.PredictSource, error) {
+	latency := LatencyLocalRead // the settings lookup below
+	cfg, err := s.deps.Settings.Load()
+	if err != nil {
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, err
+	}
+	if local, ok := cfg.FindModelByHash(req.SystemHash, req.BinaryHash); ok {
+		projected := latency + LatencyLocalRead + LatencyPredict
+		if req.Budget > 0 && projected > req.Budget {
+			return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, fmt.Errorf(
+				"core: pre-loaded path needs %v of a %v budget: %w", projected, req.Budget, ecoplugin.ErrBudgetExceeded)
+		}
 		data, err := os.ReadFile(local.Path)
 		if err != nil {
-			return perfmodel.Config{}, latency, fmt.Errorf("core: pre-loaded model: %w", err)
+			return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, fmt.Errorf("core: pre-loaded model: %w", err)
 		}
 		latency += LatencyLocalRead
-		return s.predictFrom(data, latency)
+		best, opt, err := decodeAndSweep(data)
+		latency += LatencyPredict
+		return best, opt, latency, ecoplugin.SourcePreloaded, err
 	}
 
 	if !s.AllowColdLoad {
-		return perfmodel.Config{}, latency, fmt.Errorf(
-			"core: no pre-loaded model for system %s application %s", systemHash, binaryHash)
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf(
+			"core: no pre-loaded model for system %s application %s", req.SystemHash, req.BinaryHash)
+	}
+	s.deps.Metrics.Counter("chronus.predict.cold").Inc()
+
+	projected := latency + LatencyDBQuery + LatencyBlobFetch + LatencyPredict
+	if req.Budget > 0 && projected > req.Budget {
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf(
+			"core: cold path needs %v of a %v budget: %w", projected, req.Budget, ecoplugin.ErrBudgetExceeded)
 	}
 
 	// Cold path: find the system, its newest model, fetch the blob.
 	latency += LatencyDBQuery
 	systems, err := s.deps.Repo.ListSystems()
 	if err != nil {
-		return perfmodel.Config{}, latency, err
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	var sysID int64 = -1
 	for _, sys := range systems {
-		if sys.ProcHash == systemHash {
+		if sys.ProcHash == req.SystemHash {
 			sysID = sys.ID
 			break
 		}
 	}
 	if sysID < 0 {
-		return perfmodel.Config{}, latency, fmt.Errorf("core: unknown system %s", systemHash)
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf("core: unknown system %s", req.SystemHash)
 	}
 	models, err := s.deps.Repo.ListModels()
 	if err != nil {
-		return perfmodel.Config{}, latency, err
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	var blobKey string
 	for _, m := range models {
-		if m.SystemID == sysID && m.AppHash == binaryHash {
+		if m.SystemID == sysID && m.AppHash == req.BinaryHash {
 			blobKey = m.BlobKey // list is id-ordered; keep the newest
 		}
 	}
 	if blobKey == "" {
-		return perfmodel.Config{}, latency, fmt.Errorf("core: no model for system %s application %s", systemHash, binaryHash)
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf(
+			"core: no model for system %s application %s", req.SystemHash, req.BinaryHash)
 	}
 	data, err := s.deps.Blob.Get(blobKey)
 	if err != nil {
-		return perfmodel.Config{}, latency, err
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	latency += LatencyBlobFetch
-	return s.predictFrom(data, latency)
+	best, opt, err := decodeAndSweep(data)
+	latency += LatencyPredict
+	return best, opt, latency, ecoplugin.SourceCold, err
 }
 
-func (s *PredictService) predictFrom(data []byte, latency time.Duration) (perfmodel.Config, time.Duration, error) {
+// decodeAndSweep unmarshals a model file, decodes its optimizer and
+// sweeps the configuration space — the expensive work the cache
+// exists to amortise.
+func decodeAndSweep(data []byte) (perfmodel.Config, optimizer.Optimizer, error) {
 	var file LocalModelFile
 	if err := json.Unmarshal(data, &file); err != nil {
-		return perfmodel.Config{}, latency, fmt.Errorf("core: model file: %w", err)
+		return perfmodel.Config{}, nil, fmt.Errorf("core: model file: %w", err)
 	}
 	opt, err := optimizer.Decode(file.Optimizer)
 	if err != nil {
-		return perfmodel.Config{}, latency, err
+		return perfmodel.Config{}, nil, err
 	}
 	best, err := opt.BestConfig(file.Space)
-	latency += LatencyPredict
 	if err != nil {
-		return perfmodel.Config{}, latency, err
+		return perfmodel.Config{}, nil, err
 	}
-	return best, latency, nil
+	return best, opt, nil
 }
 
 // ConfigJSONOutput renders the configuration the way `chronus

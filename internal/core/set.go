@@ -10,7 +10,8 @@ import (
 // paper's three subcommands are database, blob-storage and state
 // (Figure 10).
 type SetService struct {
-	deps Deps
+	deps  Deps
+	cache *modelCache
 }
 
 // SetDatabase sets the repository path.
@@ -49,5 +50,11 @@ func (s *SetService) mutate(fn func(*settings.Settings)) error {
 		return err
 	}
 	fn(&cfg)
-	return s.deps.Settings.Save(cfg)
+	if err := s.deps.Settings.Save(cfg); err != nil {
+		return err
+	}
+	// Settings steer prediction (state, model registry); any change
+	// makes every cached answer suspect.
+	s.cache.invalidateAll()
+	return nil
 }

@@ -99,5 +99,7 @@ func (r *StreamRunner) Run(cfg perfmodel.Config) (RunResult, error) {
 func (c *Chronus) WithRunner(r ApplicationRunner) (*Chronus, error) {
 	deps := c.deps
 	deps.Runner = r
-	return New(deps)
+	// Share the prediction cache: a load-model through the new handle
+	// must invalidate what the old handle's PredictService serves.
+	return newWithCache(deps, c.cache)
 }

@@ -13,10 +13,13 @@
 package ecoplugin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
 
+	"ecosched/internal/metrics"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/procfs"
 	"ecosched/internal/settings"
@@ -63,13 +66,56 @@ func BinaryHash(binaryPath string) string {
 	return HashString(SimpleHash(binaryPath))
 }
 
+// ErrBudgetExceeded reports that a prediction was refused (or
+// abandoned) because its simulated decision latency would overrun the
+// submit budget threaded through PredictRequest.Budget. The plugin
+// treats it like any other prediction failure — the job is submitted
+// unmodified — but counts it separately as a budget violation.
+var ErrBudgetExceeded = errors.New("ecoplugin: prediction latency budget exceeded")
+
+// PredictSource says which path answered a prediction, so cache
+// provenance flows to callers without another signature change.
+type PredictSource string
+
+// Prediction sources.
+const (
+	// SourcePreloaded: the model pre-loaded on the head node's local
+	// disk was read, decoded and swept (the paper's warm path).
+	SourcePreloaded PredictSource = "preloaded"
+	// SourceCache: the decoded-model cache answered; no file read, no
+	// JSON decode, no optimizer sweep.
+	SourceCache PredictSource = "cache"
+	// SourceCold: the database + blob-storage path (the A2 ablation's
+	// budget-blowing route).
+	SourceCold PredictSource = "cold"
+)
+
+// PredictRequest identifies one submit-time prediction: the system
+// and application hashes from job_submit_eco, plus the remaining
+// latency budget the answer must fit in (zero = unenforced).
+type PredictRequest struct {
+	SystemHash string
+	BinaryHash string
+	Budget     time.Duration
+}
+
+// PredictResult is the answer: the energy-efficient configuration,
+// the simulated decision latency spent producing it, and which path
+// produced it.
+type PredictResult struct {
+	Config  perfmodel.Config
+	Latency time.Duration
+	Source  PredictSource
+}
+
 // Predictor is Chronus's slurm-config entry point as the plugin sees
-// it: given the system and binary hashes, return the energy-efficient
-// configuration. The returned duration is the simulated decision
-// latency (local model read vs. database + blob download), which the
-// Slurm plugin budget is enforced against.
+// it. The context carries cancellation; the request carries the
+// hashes and the budget; the result carries the configuration, the
+// simulated decision latency (enforced against the Slurm plugin
+// budget) and the source path. On error the result's Latency still
+// reports the time spent before giving up.
 type Predictor interface {
-	Predict(systemHash, binaryHash string) (perfmodel.Config, time.Duration, error)
+	Predict(ctx context.Context, req PredictRequest) (PredictResult, error)
 }
 
 // Plugin implements slurm.SubmitPlugin.
@@ -77,20 +123,49 @@ type Plugin struct {
 	fs        procfs.FileReader
 	predictor Predictor
 	settings  settings.Store
+	budget    time.Duration
+	metrics   *metrics.Registry
 
-	// Stats for observability and the A2 ablation.
+	// Stats for observability and the A2 ablation. Fallbacks counts
+	// submissions that were left unmodified because prediction failed
+	// or would have blown the budget — the fail-open path.
 	Submissions int
 	Rewritten   int
+	Fallbacks   int
 	LastErr     error
 }
 
-// New wires the plugin. All three collaborators are required.
-func New(fs procfs.FileReader, p Predictor, st settings.Store) (*Plugin, error) {
+// Option configures optional plugin behaviour.
+type Option func(*Plugin)
+
+// WithBudget sets the predicted-latency budget (slurm.conf's
+// SchedulerParameters=eco_budget). When a prediction cannot fit, the
+// plugin falls back to the unmodified job instead of stalling sbatch.
+func WithBudget(d time.Duration) Option {
+	return func(p *Plugin) { p.budget = d }
+}
+
+// WithMetrics attaches an observability registry.
+func WithMetrics(r *metrics.Registry) Option {
+	return func(p *Plugin) { p.metrics = r }
+}
+
+// New wires the plugin. The three collaborators are required; options
+// configure the budget and metrics.
+func New(fs procfs.FileReader, p Predictor, st settings.Store, opts ...Option) (*Plugin, error) {
 	if fs == nil || p == nil || st == nil {
 		return nil, fmt.Errorf("ecoplugin: nil collaborator")
 	}
-	return &Plugin{fs: fs, predictor: p, settings: st}, nil
+	plugin := &Plugin{fs: fs, predictor: p, settings: st}
+	for _, opt := range opts {
+		opt(plugin)
+	}
+	return plugin, nil
 }
+
+// Budget returns the configured predicted-latency budget (zero =
+// unenforced).
+func (p *Plugin) Budget() time.Duration { return p.budget }
 
 // Name implements slurm.SubmitPlugin; it is the name slurm.conf's
 // JobSubmitPlugins=eco refers to.
@@ -103,12 +178,12 @@ const hashLatency = time.Millisecond
 // JobSubmit implements slurm.SubmitPlugin.
 func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
 	p.Submissions++
+	p.metrics.Counter("eco.plugin.submissions").Inc()
 
 	st, err := p.settings.Load()
 	if err != nil {
 		// Unreadable settings: fail open, leave the job alone.
-		p.LastErr = err
-		return hashLatency, nil
+		return hashLatency, p.fallBack(err)
 	}
 	switch st.State {
 	case settings.StateDeactivated:
@@ -123,24 +198,46 @@ func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration
 
 	sysHash, err := SystemHash(p.fs)
 	if err != nil {
-		p.LastErr = err
-		return hashLatency, nil
+		return hashLatency, p.fallBack(err)
 	}
 	binHash := BinaryHash(desc.BinaryPath)
 
-	cfg, latency, err := p.predictor.Predict(sysHash, binHash)
-	total := hashLatency + latency
+	req := PredictRequest{SystemHash: sysHash, BinaryHash: binHash}
+	if p.budget > 0 {
+		// The hashes above already spent part of the budget.
+		req.Budget = p.budget - hashLatency
+		if req.Budget <= 0 {
+			return hashLatency, p.fallBack(ErrBudgetExceeded)
+		}
+	}
+	res, err := p.predictor.Predict(context.Background(), req)
+	total := hashLatency + res.Latency
+	p.metrics.Histogram("eco.plugin.predict_latency").ObserveDuration(res.Latency)
 	if err != nil {
-		p.LastErr = err
-		return total, nil
+		return total, p.fallBack(err)
 	}
 
 	// The Listing 4 rewrite.
-	desc.NumTasks = cfg.Cores
-	desc.ThreadsPerCPU = cfg.ThreadsPerCore
-	desc.MinFreqKHz = cfg.FreqKHz
-	desc.MaxFreqKHz = cfg.FreqKHz
+	desc.NumTasks = res.Config.Cores
+	desc.ThreadsPerCPU = res.Config.ThreadsPerCore
+	desc.MinFreqKHz = res.Config.FreqKHz
+	desc.MaxFreqKHz = res.Config.FreqKHz
 	p.Rewritten++
+	p.metrics.Counter("eco.plugin.rewritten").Inc()
+	p.metrics.Counter("eco.plugin.source." + string(res.Source)).Inc()
 	p.LastErr = nil
 	return total, nil
+}
+
+// fallBack records a fail-open outcome — the job proceeds unmodified —
+// and always returns nil so the caller can `return latency,
+// p.fallBack(err)` without risking a rejection.
+func (p *Plugin) fallBack(err error) error {
+	p.LastErr = err
+	p.Fallbacks++
+	p.metrics.Counter("eco.plugin.fallback").Inc()
+	if errors.Is(err, ErrBudgetExceeded) {
+		p.metrics.Counter("eco.plugin.budget_violations").Inc()
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package ecoplugin
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -78,14 +79,13 @@ type fakePredictor struct {
 	latency time.Duration
 	err     error
 	calls   int
-	lastSys string
-	lastBin string
+	lastReq PredictRequest
 }
 
-func (f *fakePredictor) Predict(sysHash, binHash string) (perfmodel.Config, time.Duration, error) {
+func (f *fakePredictor) Predict(ctx context.Context, req PredictRequest) (PredictResult, error) {
 	f.calls++
-	f.lastSys, f.lastBin = sysHash, binHash
-	return f.cfg, f.latency, f.err
+	f.lastReq = req
+	return PredictResult{Config: f.cfg, Latency: f.latency, Source: SourcePreloaded}, f.err
 }
 
 func newPlugin(t *testing.T, pred *fakePredictor, state settings.State) (*Plugin, *settings.MemStore) {
@@ -178,11 +178,49 @@ func TestPredictorReceivesHashes(t *testing.T) {
 	p, _ := newPlugin(t, pred, settings.StateActive)
 	desc := slurm.JobDesc{BinaryPath: "/opt/hpcg/xhpcg"}
 	p.JobSubmit(&desc, 1000)
-	if pred.lastBin != BinaryHash("/opt/hpcg/xhpcg") {
-		t.Fatalf("binary hash = %s", pred.lastBin)
+	if pred.lastReq.BinaryHash != BinaryHash("/opt/hpcg/xhpcg") {
+		t.Fatalf("binary hash = %s", pred.lastReq.BinaryHash)
 	}
-	if pred.lastSys == "" {
+	if pred.lastReq.SystemHash == "" {
 		t.Fatal("system hash empty")
+	}
+	if pred.lastReq.Budget != 0 {
+		t.Fatalf("budget %v leaked into an unbudgeted plugin", pred.lastReq.Budget)
+	}
+}
+
+func TestBudgetThreadedToPredictor(t *testing.T) {
+	pred := &fakePredictor{cfg: perfmodel.BestConfig()}
+	_, _, fs := newRig(t)
+	st := settings.NewMemStore()
+	s := settings.Defaults()
+	s.State = settings.StateActive
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(fs, pred, st, WithBudget(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := slurm.JobDesc{BinaryPath: "/bin/app"}
+	p.JobSubmit(&desc, 1000)
+	if want := 100*time.Millisecond - hashLatency; pred.lastReq.Budget != want {
+		t.Fatalf("predictor budget = %v, want %v (configured minus hash cost)", pred.lastReq.Budget, want)
+	}
+}
+
+func TestBudgetExceededFallsBackUnmodified(t *testing.T) {
+	pred := &fakePredictor{err: fmt.Errorf("sweep too slow: %w", ErrBudgetExceeded)}
+	p, _ := newPlugin(t, pred, settings.StateActive)
+	desc := slurm.JobDesc{BinaryPath: "/bin/app", NumTasks: 16, MaxFreqKHz: 2_500_000}
+	if _, err := p.JobSubmit(&desc, 1000); err != nil {
+		t.Fatalf("budget overrun must not reject the job: %v", err)
+	}
+	if desc.NumTasks != 16 || desc.MaxFreqKHz != 2_500_000 {
+		t.Fatal("budget overrun still rewrote the job")
+	}
+	if p.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", p.Fallbacks)
 	}
 }
 

@@ -1,0 +1,398 @@
+// Package metrics is the observability subsystem of the production
+// submit path: named counters, gauges and latency histograms with
+// percentiles, collected into a Registry and dumped as text or JSON.
+//
+// It is deliberately distinct from internal/telemetry, which records
+// the *simulated hardware's* power traces (the paper's IPMI samples);
+// metrics here observe the *software* — how many submissions the eco
+// plugin rewrote, how often the prediction cache hit, how long the
+// hot path took — so the latency-budget story of §3.1.2 can be proven
+// with numbers instead of asserted.
+//
+// Every type is safe for concurrent use and nil-safe: methods on a
+// nil *Registry, *Counter, *Gauge or *Histogram are no-ops, so
+// components can be instrumented unconditionally and wired with a nil
+// registry when observability is not wanted (tests, tiny tools).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float metric (queue depth, cache size).
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// histogramWindow bounds the per-histogram sample retention:
+// percentiles are computed over the most recent observations, while
+// count/sum/min/max cover the histogram's whole lifetime.
+const histogramWindow = 4096
+
+// Histogram records a distribution of observations. Percentile
+// queries are exact over a sliding window of the most recent
+// histogramWindow observations; Count, Sum, Min and Max are exact
+// over all observations.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	window   []float64 // ring buffer of recent observations
+	next     int       // ring write position
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.window) < histogramWindow {
+		h.window = append(h.window, v)
+	} else {
+		h.window[h.next] = v
+		h.next = (h.next + 1) % histogramWindow
+	}
+}
+
+// ObserveDuration records a latency in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns the q-quantile (q in [0,1]) over the retained
+// window, or NaN when nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	sorted := append([]float64(nil), h.window...)
+	h.mu.Unlock()
+	return quantileOf(sorted, q)
+}
+
+func quantileOf(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(samples)
+	if q <= 0 {
+		return samples[0]
+	}
+	if q >= 1 {
+		return samples[len(samples)-1]
+	}
+	// Nearest-rank on the sorted window.
+	idx := int(math.Ceil(q*float64(len(samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return samples[idx]
+}
+
+func (h *Histogram) stat() HistogramStat {
+	h.mu.Lock()
+	sorted := append([]float64(nil), h.window...)
+	st := HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	h.mu.Unlock()
+	if st.Count > 0 {
+		st.Mean = st.Sum / float64(st.Count)
+	}
+	st.P50 = quantileOf(sorted, 0.50)
+	st.P90 = quantileOf(sorted, 0.90)
+	st.P99 = quantileOf(sorted, 0.99)
+	return st
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// New. A nil *Registry is a valid no-op sink.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramStat is a histogram summarised for a snapshot. Percentiles
+// are over the retained window; the other fields are lifetime-exact.
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry —
+// what `chronus metrics` persists and prints.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range histograms {
+		s.Histograms[k] = v.stat()
+	}
+	return s
+}
+
+// Merge folds other into s: counters add, histogram lifetimes
+// combine, and gauges plus histogram percentiles take other's values
+// (the most recent observation wins for point-in-time data).
+func (s *Snapshot) Merge(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramStat{}
+	}
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[k] = v
+	}
+	for k, v := range other.Histograms {
+		cur, ok := s.Histograms[k]
+		if !ok || cur.Count == 0 {
+			s.Histograms[k] = v
+			continue
+		}
+		if v.Count == 0 {
+			continue
+		}
+		merged := HistogramStat{
+			Count: cur.Count + v.Count,
+			Sum:   cur.Sum + v.Sum,
+			Min:   math.Min(cur.Min, v.Min),
+			Max:   math.Max(cur.Max, v.Max),
+			// Percentiles cannot be combined exactly from summaries;
+			// keep the most recent window's, like the gauges.
+			P50: v.P50, P90: v.P90, P99: v.P99,
+		}
+		merged.Mean = merged.Sum / float64(merged.Count)
+		s.Histograms[k] = merged
+	}
+}
+
+// MarshalJSON renders the snapshot with deterministic key order (Go
+// maps marshal sorted, so the default marshaller suffices; this
+// method exists to keep the wire shape explicit).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal(alias(s))
+}
+
+// WriteText dumps the snapshot in a stable, human-readable layout.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "counter   %-44s %d\n", name, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "gauge     %-44s %g\n", name, s.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "histogram %-44s count=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
+			name, h.Count, fmtSeconds(h.Mean), fmtSeconds(h.P50), fmtSeconds(h.P90), fmtSeconds(h.P99), fmtSeconds(h.Max))
+	}
+}
+
+// fmtSeconds renders a seconds-valued observation as a duration —
+// every histogram in this codebase observes latencies in seconds.
+func fmtSeconds(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs.submitted")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs.submitted") != c {
+		t.Fatal("same name returned a different counter")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := New()
+	g := r.Gauge("cache.entries")
+	g.Set(3)
+	g.Add(2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %g, want 5", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("predict.latency")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("p50 = %g, want 50", q)
+	}
+	if q := h.Quantile(0.99); q != 99 {
+		t.Fatalf("p99 = %g, want 99", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %g, want 100", q)
+	}
+	st := r.Snapshot().Histograms["predict.latency"]
+	if st.Min != 1 || st.Max != 100 || st.Mean != 50.5 {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestHistogramWindowBoundsMemory(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 3*histogramWindow; i++ {
+		h.Observe(float64(i))
+	}
+	if len(h.window) != histogramWindow {
+		t.Fatalf("window grew to %d", len(h.window))
+	}
+	if h.Count() != int64(3*histogramWindow) {
+		t.Fatalf("lifetime count = %d", h.Count())
+	}
+	// Percentiles reflect the recent window, not ancient history.
+	if q := h.Quantile(0); q < float64(2*histogramWindow) {
+		t.Fatalf("window min %g includes evicted observations", q)
+	}
+}
+
+func TestEmptyHistogramQuantileIsNaN(t *testing.T) {
+	if !math.IsNaN((&Histogram{}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile not NaN")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(1)
+	r.Histogram("z").ObserveDuration(time.Second)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil registry retained state")
+	}
+	if !math.IsNaN(r.Histogram("z").Quantile(0.5)) {
+		t.Fatal("nil histogram quantile not NaN")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(float64(i))
+				r.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotMergeAddsCounters(t *testing.T) {
+	a := New()
+	a.Counter("predict.hit").Add(3)
+	a.Histogram("lat").Observe(1)
+	a.Histogram("lat").Observe(3)
+	b := New()
+	b.Counter("predict.hit").Add(2)
+	b.Counter("predict.miss").Inc()
+	b.Gauge("models").Set(7)
+	b.Histogram("lat").Observe(5)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["predict.hit"] != 5 || s.Counters["predict.miss"] != 1 {
+		t.Fatalf("merged counters = %+v", s.Counters)
+	}
+	if s.Gauges["models"] != 7 {
+		t.Fatalf("merged gauges = %+v", s.Gauges)
+	}
+	h := s.Histograms["lat"]
+	if h.Count != 3 || h.Sum != 9 || h.Min != 1 || h.Max != 5 || h.Mean != 3 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c").Observe(0.001)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a"] != 1 || back.Gauges["b"] != 2.5 || back.Histograms["c"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteTextStableAndReadable(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Inc()
+	r.Counter("a.count").Add(2)
+	r.Histogram("lat").ObserveDuration(2 * time.Millisecond)
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "a.count") || !strings.Contains(out, "b.count") {
+		t.Fatalf("missing counters:\n%s", out)
+	}
+	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Fatal("counters not sorted")
+	}
+	if !strings.Contains(out, "2ms") {
+		t.Fatalf("latency not rendered as a duration:\n%s", out)
+	}
+}

@@ -22,6 +22,16 @@ type Conf struct {
 	PluginBudget     time.Duration // submit-plugin latency budget
 	DefaultTimeLimit time.Duration
 	Partitions       []Partition
+	// SchedulerParameters holds the comma-separated key=value (or
+	// bare-flag) options of the SchedulerParameters line, the
+	// grab-bag Slurm uses for scheduler tuning knobs.
+	SchedulerParameters map[string]string
+	// EcoBudget is the eco plugin's own predicted-latency budget,
+	// parsed from SchedulerParameters=eco_budget=<duration>. When a
+	// prediction's simulated decision latency would exceed it, the
+	// plugin falls back to submitting the job unmodified instead of
+	// stalling sbatch. Zero means unenforced.
+	EcoBudget time.Duration
 }
 
 // DefaultPartition returns the partition jobs land in when they name
@@ -87,6 +97,10 @@ func ParseConf(text string) (Conf, error) {
 					conf.JobSubmitPlugins = append(conf.JobSubmitPlugins, p)
 				}
 			}
+		case "schedulerparameters":
+			if err := conf.parseSchedulerParameters(value); err != nil {
+				return Conf{}, fmt.Errorf("slurm: conf line %d: %w", lineNo+1, err)
+			}
 		case "pluginbudget":
 			d, err := time.ParseDuration(value)
 			if err != nil {
@@ -115,6 +129,37 @@ func ParseConf(text string) (Conf, error) {
 		}
 	}
 	return conf, nil
+}
+
+// parseSchedulerParameters splits the Slurm-style comma-separated
+// option list and extracts the knobs the simulation understands
+// (currently eco_budget); unknown options are retained verbatim, as
+// Slurm passes them through to whichever plugin asks.
+func (c *Conf) parseSchedulerParameters(value string) error {
+	if c.SchedulerParameters == nil {
+		c.SchedulerParameters = make(map[string]string)
+	}
+	for _, opt := range strings.Split(value, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, v, _ := strings.Cut(opt, "=")
+		key = strings.TrimSpace(key)
+		v = strings.TrimSpace(v)
+		c.SchedulerParameters[key] = v
+		if strings.EqualFold(key, "eco_budget") {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return fmt.Errorf("bad eco_budget %q: %w", v, err)
+			}
+			if d < 0 {
+				return fmt.Errorf("negative eco_budget %q", v)
+			}
+			c.EcoBudget = d
+		}
+	}
+	return nil
 }
 
 func parsePartition(value string) (Partition, error) {

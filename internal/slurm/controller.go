@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ecosched/internal/hw"
+	"ecosched/internal/metrics"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/simclock"
 )
@@ -110,6 +111,7 @@ type Controller struct {
 	onDone    []func(*Job)
 	policy    SchedulingPolicy
 	usage     map[uint32]float64 // user id → consumed CPU-seconds
+	metrics   *metrics.Registry  // nil = unobserved
 }
 
 // NewController builds a controller over the given nodes with the
@@ -161,6 +163,10 @@ func (c *Controller) SetFallbackWorkload(w Workload) { c.fallback = w }
 // SetPolicy selects the scheduling policy (default FIFO).
 func (c *Controller) SetPolicy(p SchedulingPolicy) { c.policy = p }
 
+// SetMetrics attaches an observability registry; nil (the default)
+// disables instrumentation.
+func (c *Controller) SetMetrics(r *metrics.Registry) { c.metrics = r }
+
 // Policy returns the active scheduling policy.
 func (c *Controller) Policy() SchedulingPolicy { return c.policy }
 
@@ -203,6 +209,7 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 	if desc.IsArray() {
 		return nil, fmt.Errorf("slurm: array description submitted directly; use SubmitArray")
 	}
+	c.metrics.Counter("slurm.jobs.submitted").Inc()
 	plugins, err := c.activePlugins()
 	if err != nil {
 		return nil, err
@@ -212,12 +219,18 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 		lat, err := p.JobSubmit(&desc, desc.UserID)
 		pluginTime += lat
 		if err != nil {
+			c.metrics.Counter("slurm.jobs.rejected").Inc()
 			return nil, fmt.Errorf("slurm: plugin %s rejected job: %w", p.Name(), err)
 		}
 		if pluginTime > c.conf.PluginBudget {
+			c.metrics.Counter("slurm.jobs.rejected").Inc()
+			c.metrics.Counter("slurm.plugin.budget_overruns").Inc()
 			return nil, fmt.Errorf("slurm: plugin %s exceeded the submit budget (%v > %v)",
 				p.Name(), pluginTime, c.conf.PluginBudget)
 		}
+	}
+	if len(plugins) > 0 {
+		c.metrics.Histogram("slurm.plugin.chain_latency").ObserveDuration(pluginTime)
 	}
 
 	if desc.NumTasks <= 0 {
@@ -474,6 +487,14 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 func (c *Controller) finish(job *Job) {
 	if !job.StartTime.IsZero() && !job.EndTime.IsZero() {
 		c.usage[job.Desc.UserID] += float64(job.Desc.NumTasks) * job.EndTime.Sub(job.StartTime).Seconds()
+	}
+	switch job.State {
+	case StateCompleted:
+		c.metrics.Counter("slurm.jobs.completed").Inc()
+	case StateFailed:
+		c.metrics.Counter("slurm.jobs.failed").Inc()
+	case StateCancelled:
+		c.metrics.Counter("slurm.jobs.cancelled").Inc()
 	}
 	c.acct.record(job)
 	for _, fn := range c.onDone {

@@ -77,6 +77,35 @@ func TestParseConfErrorsAndDefaults(t *testing.T) {
 	}
 }
 
+func TestParseConfSchedulerParameters(t *testing.T) {
+	conf, err := ParseConf("SchedulerParameters=defer, eco_budget=50ms ,batch_sched_delay=3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.EcoBudget != 50*time.Millisecond {
+		t.Fatalf("EcoBudget = %v", conf.EcoBudget)
+	}
+	// Unknown options are kept verbatim; bare flags map to "".
+	if v, ok := conf.SchedulerParameters["defer"]; !ok || v != "" {
+		t.Fatalf("defer flag = %q, %v", v, ok)
+	}
+	if conf.SchedulerParameters["batch_sched_delay"] != "3" {
+		t.Fatalf("SchedulerParameters = %v", conf.SchedulerParameters)
+	}
+
+	if _, err := ParseConf("SchedulerParameters=eco_budget=oops\n"); err == nil {
+		t.Fatal("bad eco_budget accepted")
+	}
+	if _, err := ParseConf("SchedulerParameters=eco_budget=-1s\n"); err == nil {
+		t.Fatal("negative eco_budget accepted")
+	}
+	// No SchedulerParameters line: unenforced.
+	conf, err = ParseConf("ClusterName=x\n")
+	if err != nil || conf.EcoBudget != 0 {
+		t.Fatalf("EcoBudget = %v, err = %v", conf.EcoBudget, err)
+	}
+}
+
 // ---- batch scripts ----
 
 func TestBatchScriptRoundTrip(t *testing.T) {

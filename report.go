@@ -136,3 +136,12 @@ func WriteGovernorAblation(w io.Writer, rows []GovernorRow) {
 			r.Governor, r.FreqKHz, r.SystemKJ, r.CPUKJ, fmtDuration(r.Runtime), r.Eff)
 	}
 }
+
+// WriteMetrics dumps the deployment's live metrics registry — the
+// observability counters (submissions, cache hits, fallbacks) and
+// latency histograms alongside the paper's tables, so a report shows
+// what the software did, not just what the hardware measured.
+func (d *Deployment) WriteMetrics(w io.Writer) {
+	fmt.Fprintln(w, "Deployment metrics:")
+	d.Metrics.Snapshot().WriteText(w)
+}
