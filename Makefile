@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench serve-smoke clean
 
 all: vet test
 
@@ -18,6 +18,12 @@ race:
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
+
+# serve-smoke boots `chronus serve` against a fresh data directory and
+# fails unless /metrics and /healthz answer 200 with the expected
+# content types.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 clean:
 	$(GO) clean -testcache

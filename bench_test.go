@@ -221,6 +221,49 @@ func BenchmarkPredictCacheHit(b *testing.B) {
 	b.ReportMetric(float64(snap.Counters["chronus.predict.cache_hit"])/float64(b.N), "hits/op")
 }
 
+// BenchmarkPredictCacheHitTraced is BenchmarkPredictCacheHit with the
+// decision tracer (ring + journal) enabled — the pair quantifies what
+// tracing costs on the hottest path. The untraced variant exercises the
+// nil-tracer no-op branches and must stay at its pre-instrumentation
+// cost.
+func BenchmarkPredictCacheHitTraced(b *testing.B) {
+	d, err := NewDeployment(Options{DataDir: b.TempDir(), Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	if _, err := d.BenchmarkConfigs(QuickSweepConfigs(), 0); err != nil {
+		b.Fatal(err)
+	}
+	meta, err := d.TrainModel("brute-force")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.PreloadModel(meta.ID); err != nil {
+		b.Fatal(err)
+	}
+	sysHash, err := ecoplugin.SystemHash(d.fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := ecoplugin.PredictRequest{SystemHash: sysHash, BinaryHash: ecoplugin.BinaryHash(d.HPCGPath)}
+	ctx := context.Background()
+	if _, err := d.Chronus.Predict.Predict(ctx, req); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Chronus.Predict.Predict(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Source != ecoplugin.SourceCache {
+			b.Fatalf("not a cache hit: source %s", res.Source)
+		}
+	}
+	b.ReportMetric(float64(len(d.Tracer.Recent()))/float64(b.N), "spans/op")
+}
+
 // BenchmarkGPUSweep is extension X3: the GPU DVFS grid sweep plus the
 // constrained tune.
 func BenchmarkGPUSweep(b *testing.B) {

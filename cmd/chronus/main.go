@@ -2,7 +2,8 @@
 // init-model, load-model, slurm-config and set, operating on a
 // simulated single-node cluster whose state (database, blob storage,
 // settings, pre-loaded models) persists in a data directory across
-// invocations.
+// invocations — plus the observability surface: metrics, the decision
+// journal (trace, events) and a long-running exposition server.
 //
 // Usage:
 //
@@ -12,19 +13,27 @@
 //	chronus -data DIR slurm-config [-n COUNT] SYSTEM_HASH BINARY_HASH
 //	chronus -data DIR set (database|blob-storage|state) VALUE
 //	chronus -data DIR metrics
+//	chronus -data DIR trace JOB_ID
+//	chronus -data DIR events [-since DUR]
+//	chronus -data DIR serve [-addr HOST:PORT] [-pprof]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
+	"time"
 
 	"ecosched"
 	"ecosched/internal/core"
 	"ecosched/internal/ecoplugin"
 	"ecosched/internal/perfmodel"
+	"ecosched/internal/trace"
 )
 
 func main() {
@@ -42,17 +51,24 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics) ...")
+		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics|trace|events|serve) ...")
 	}
 
-	// metrics only reads the accumulated snapshot file; it needs no
-	// deployment (and must not wire one, or it would flush an empty
-	// snapshot on Close).
-	if rest[0] == "metrics" {
+	// metrics, trace and events only read persisted observability
+	// state; they need no deployment (and must not wire one, or it
+	// would flush an empty snapshot on Close).
+	switch rest[0] {
+	case "metrics":
 		return cmdMetrics(*dataDir, rest[1:])
+	case "trace":
+		return cmdTrace(*dataDir, rest[1:])
+	case "events":
+		return cmdEvents(*dataDir, rest[1:])
 	}
 
-	d, err := ecosched.New(*dataDir, ecosched.WithLogWriter(os.Stdout))
+	// Every stateful command traces into DataDir/events.jsonl, so a
+	// later `chronus trace <job>` can replay its decisions.
+	d, err := ecosched.New(*dataDir, ecosched.WithLogWriter(os.Stdout), ecosched.WithTracing())
 	if err != nil {
 		return err
 	}
@@ -69,6 +85,8 @@ func run(args []string) error {
 		return cmdSlurmConfig(d, cmdArgs)
 	case "set":
 		return cmdSet(d, cmdArgs)
+	case "serve":
+		return cmdServe(d, cmdArgs)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -228,6 +246,74 @@ func cmdMetrics(dataDir string, args []string) error {
 	}
 	snap.WriteText(os.Stdout)
 	return nil
+}
+
+func cmdTrace(dataDir string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: chronus trace JOB_ID")
+	}
+	if _, err := strconv.Atoi(args[0]); err != nil {
+		return fmt.Errorf("trace takes a numeric job id, got %q", args[0])
+	}
+	events, err := readJournal(dataDir)
+	if err != nil {
+		return err
+	}
+	t := trace.TraceFor(events, args[0])
+	if len(t) == 0 {
+		return fmt.Errorf("no trace for job %s in %s", args[0], filepath.Join(dataDir, ecosched.EventsFile))
+	}
+	trace.WriteTree(os.Stdout, t)
+	return nil
+}
+
+func cmdEvents(dataDir string, args []string) error {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	since := fs.Duration("since", 0, "only events newer than this (e.g. 1h; 0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: chronus events [-since DUR]")
+	}
+	events, err := readJournal(dataDir)
+	if err != nil {
+		return err
+	}
+	if *since > 0 {
+		events = trace.Since(events, time.Now().Add(-*since))
+	}
+	trace.WriteEvents(os.Stdout, events)
+	return nil
+}
+
+func readJournal(dataDir string) ([]trace.Event, error) {
+	events, err := trace.ReadJournal(filepath.Join(dataDir, ecosched.EventsFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("no event journal in %s — run a traced command first", dataDir)
+		}
+		return nil, err
+	}
+	return events, nil
+}
+
+func cmdServe(d *ecosched.Deployment, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9090", "listen address")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: chronus serve [-addr HOST:PORT] [-pprof]")
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving /metrics /trace /healthz on http://%s\n", ln.Addr())
+	return http.Serve(ln, d.Handler(ecosched.ServeConfig{Pprof: *withPprof}))
 }
 
 func cmdSet(d *ecosched.Deployment, args []string) error {

@@ -36,7 +36,7 @@ func run(dataDir, model string, full bool) error {
 		defer os.RemoveAll(dir)
 	}
 
-	d, err := ecosched.New(dir, ecosched.WithLogWriter(os.Stdout))
+	d, err := ecosched.New(dir, ecosched.WithLogWriter(os.Stdout), ecosched.WithTracing())
 	if err != nil {
 		return err
 	}
@@ -61,6 +61,7 @@ func run(dataDir, model string, full bool) error {
 	if _, err := d.Cluster.WaitFor(early.ID); err != nil {
 		return err
 	}
+	printDecision(d, early.ID)
 	fmt.Printf("plugin fallbacks so far: %d (job ran unmodified)\n", d.Plugin.Fallbacks)
 
 	fmt.Printf("== chronus init-model --model %s ==\n", model)
@@ -81,6 +82,7 @@ func run(dataDir, model string, full bool) error {
 	if _, err := d.Cluster.WaitFor(plain.ID); err != nil {
 		return err
 	}
+	printDecision(d, plain.ID)
 
 	fmt.Println("== sbatch HPCG --comment \"chronus\" ==")
 	eco, err := d.SubmitHPCGOptIn()
@@ -94,6 +96,7 @@ func run(dataDir, model string, full bool) error {
 	if done.State != slurm.StateCompleted {
 		return fmt.Errorf("eco job ended %s (%s)", done.State, done.Reason)
 	}
+	printDecision(d, eco.ID)
 
 	fmt.Println("\n== sinfo ==")
 	fmt.Print(d.Cluster.FormatSinfo())
@@ -104,7 +107,38 @@ func run(dataDir, model string, full bool) error {
 	eRec, _ := d.Cluster.Accounting().Record(eco.ID)
 	_ = []slurm.AcctRecord{pRec, eRec}
 	fmt.Printf("\neco plugin rewrote %d of %d submissions\n", d.Plugin.Rewritten, d.Plugin.Submissions)
+	fmt.Printf("decision journal: %s (replay with `chronus -data %s trace %d`)\n",
+		ecosched.EventsFile, dir, eco.ID)
 	fmt.Printf("system energy saving: %.1f%% (paper: 11%%)\n", 100*(1-eRec.SystemKJ/pRec.SystemKJ))
 	fmt.Printf("CPU energy saving:    %.1f%% (paper: 18%%)\n", 100*(1-eRec.CPUKJ/pRec.CPUKJ))
 	return nil
+}
+
+// printDecision prints the per-job decision line sourced from the
+// submission's trace spans: which path answered (preloaded, cache,
+// cold), what was chosen, how long the plugin spent, and the budget
+// verdict.
+func printDecision(d *ecosched.Deployment, jobID int) {
+	events := d.DecisionTrace(jobID)
+	for _, e := range events {
+		if e.Name != "eco.submit" {
+			continue
+		}
+		a := e.Attrs
+		line := fmt.Sprintf("decision job=%d verdict=%s", jobID, a["verdict"])
+		if a["source"] != "" {
+			line += fmt.Sprintf(" source=%s config=%q", a["source"], a["config"])
+		}
+		if a["cause"] != "" {
+			line += fmt.Sprintf(" cause=%q", a["cause"])
+		}
+		if a["sim_latency"] != "" {
+			line += fmt.Sprintf(" latency=%s", a["sim_latency"])
+		}
+		fmt.Println(line)
+		return
+	}
+	// An untraced or unmatched submission (e.g. the trace aged out of
+	// the ring) still gets a line, so the output stays parseable.
+	fmt.Printf("decision job=%d verdict=unknown\n", jobID)
 }

@@ -47,6 +47,7 @@ import (
 	"ecosched/internal/settings"
 	"ecosched/internal/simclock"
 	"ecosched/internal/slurm"
+	"ecosched/internal/trace"
 )
 
 // Config is a job resource configuration: scheduled cores, CPU
@@ -99,6 +100,18 @@ type Options struct {
 	SlurmConf string
 	// LogW receives Chronus log output (default discard).
 	LogW io.Writer
+	// Trace enables end-to-end decision tracing: every submission
+	// produces spans covering plugin → predict → (cache|load|optimize),
+	// journalled to DataDir/events.jsonl. Off by default so the hot
+	// path stays allocation-free (every trace type is nil-safe).
+	Trace bool
+	// TraceJournalMaxBytes bounds events.jsonl before rotation
+	// (default trace.DefaultJournalMaxBytes).
+	TraceJournalMaxBytes int64
+	// Tracer injects an externally-built tracer (tests); when set,
+	// Trace and TraceJournalMaxBytes are ignored and the deployment
+	// does not own a journal.
+	Tracer *trace.Tracer
 }
 
 // Option mutates Options — the functional configuration of New.
@@ -128,6 +141,18 @@ func WithSlurmConf(conf string) Option { return func(o *Options) { o.SlurmConf =
 // WithLogWriter directs Chronus log output.
 func WithLogWriter(w io.Writer) Option { return func(o *Options) { o.LogW = w } }
 
+// WithTracing enables decision tracing with a journal at
+// DataDir/events.jsonl.
+func WithTracing() Option { return func(o *Options) { o.Trace = true } }
+
+// WithTraceJournalMaxBytes bounds the event journal's size cap.
+func WithTraceJournalMaxBytes(n int64) Option {
+	return func(o *Options) { o.TraceJournalMaxBytes = n }
+}
+
+// WithTracer injects an externally-built tracer.
+func WithTracer(t *trace.Tracer) Option { return func(o *Options) { o.Tracer = t } }
+
 // Deployment is a wired, running simulated installation.
 type Deployment struct {
 	Sim      *simclock.Sim
@@ -145,6 +170,10 @@ type Deployment struct {
 	// snapshot into DataDir/metrics.json so counters accumulate across
 	// CLI invocations (`chronus metrics` reads that file).
 	Metrics *metrics.Registry
+	// Tracer is the deployment-wide decision tracer (nil unless
+	// tracing was enabled). Completed spans land in its in-memory ring
+	// and, via the journal, in DataDir/events.jsonl.
+	Tracer *trace.Tracer
 
 	fs      procfs.FileReader
 	dataDir string
@@ -240,6 +269,17 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		}
 	}
 
+	tracer := opts.Tracer
+	if tracer == nil && opts.Trace {
+		journal, err := trace.OpenJournal(filepath.Join(opts.DataDir, EventsFile), opts.TraceJournalMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, journal.Close)
+		tracer = trace.New(trace.WithJournal(journal))
+	}
+	cluster.SetTracer(tracer)
+
 	var repo repository.Repository
 	switch opts.Repository {
 	case RepoFileDB:
@@ -298,6 +338,7 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		Now:      sim.Now,
 		LogW:     opts.LogW,
 		Metrics:  reg,
+		Tracer:   tracer,
 	})
 	if err != nil {
 		cleanup()
@@ -305,7 +346,8 @@ func buildDeployment(opts Options) (*Deployment, error) {
 	}
 
 	plugin, err := ecoplugin.New(fs, chronus.Predict, settingsStore,
-		ecoplugin.WithBudget(conf.EcoBudget), ecoplugin.WithMetrics(reg))
+		ecoplugin.WithBudget(conf.EcoBudget), ecoplugin.WithMetrics(reg),
+		ecoplugin.WithTracer(tracer))
 	if err != nil {
 		cleanup()
 		return nil, err
@@ -316,7 +358,7 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		Sim: sim, Cluster: cluster, Nodes: nodes, BMCs: bmcs,
 		Chronus: chronus, Plugin: plugin,
 		Repo: repo, Blob: blobStore, Settings: settingsStore,
-		HPCGPath: opts.HPCGPath, Metrics: reg,
+		HPCGPath: opts.HPCGPath, Metrics: reg, Tracer: tracer,
 		fs: fs, dataDir: opts.DataDir,
 	}
 	// Persist metrics last-registered so Close flushes them before the
@@ -344,9 +386,15 @@ func (d *Deployment) Close() error {
 // in across CLI invocations.
 const MetricsFile = "metrics.json"
 
+// EventsFile is the DataDir-relative decision-trace journal (plus a
+// rotated EventsFile.old generation once the size cap is hit).
+const EventsFile = "events.jsonl"
+
 // persistMetrics merges the registry's snapshot into
 // DataDir/metrics.json: counters add up across invocations, gauges
-// and percentiles keep the most recent run's values.
+// and percentiles keep the most recent run's values. The merged file
+// is written to a temp file and renamed so a crash mid-flush can
+// never truncate the accumulated counters.
 func (d *Deployment) persistMetrics() error {
 	current := d.Metrics.Snapshot()
 	path := filepath.Join(d.dataDir, MetricsFile)
@@ -359,7 +407,32 @@ func (d *Deployment) persistMetrics() error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	tmp, err := os.CreateTemp(d.dataDir, MetricsFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// DecisionTrace returns the completed spans of the submission trace
+// for a job, from the tracer's in-memory ring — the live counterpart
+// of `chronus trace <job>`, which replays the journal. It returns nil
+// when tracing is off or the job's trace has aged out of the ring.
+func (d *Deployment) DecisionTrace(jobID int) []trace.Event {
+	return trace.TraceFor(d.Tracer.Recent(), fmt.Sprint(jobID))
 }
 
 // ReadMetrics loads the accumulated metrics snapshot for a data

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
+	"strconv"
 	"time"
 
 	"ecosched/internal/ecoplugin"
@@ -87,6 +89,16 @@ func (s *BenchmarkService) Run(configs []perfmodel.Config, interval time.Duratio
 		interval = DefaultSampleInterval
 	}
 
+	ctx, span := s.deps.Tracer.Start(context.Background(), "chronus.benchmark")
+	if span != nil {
+		span.SetAttr("configurations", strconv.Itoa(len(configs)))
+	}
+	runID, err := s.run(ctx, configs, interval)
+	span.End(err)
+	return runID, err
+}
+
+func (s *BenchmarkService) run(ctx context.Context, configs []perfmodel.Config, interval time.Duration) (int64, error) {
 	sysID, sysRec, err := s.registerSystem()
 	if err != nil {
 		return 0, err
@@ -104,7 +116,7 @@ func (s *BenchmarkService) Run(configs []perfmodel.Config, interval time.Duratio
 		if err := cfg.Validate(sysRec.Cores, sysRec.ThreadsPerCore); err != nil {
 			return runID, err
 		}
-		if _, err := s.benchmarkOne(runID, sysID, appHash, cfg, interval); err != nil {
+		if _, err := s.benchmarkOne(ctx, runID, sysID, appHash, cfg, interval); err != nil {
 			return runID, err
 		}
 	}
@@ -114,13 +126,22 @@ func (s *BenchmarkService) Run(configs []perfmodel.Config, interval time.Duratio
 
 // benchmarkOne is steps 1–3 of the paper's benchmarking flow: start
 // the job, sample IPMI until it finishes, save the benchmark.
-func (s *BenchmarkService) benchmarkOne(runID, sysID int64, appHash string, cfg perfmodel.Config, interval time.Duration) (repository.Benchmark, error) {
+func (s *BenchmarkService) benchmarkOne(ctx context.Context, runID, sysID int64, appHash string, cfg perfmodel.Config, interval time.Duration) (_ repository.Benchmark, err error) {
+	_, span := s.deps.Tracer.Start(ctx, "benchmark.run")
+	if span != nil {
+		span.SetAttr("config", cfg.String())
+		defer func() { span.End(err) }()
+	}
 	stop := s.deps.System.StartSampling(interval)
 	result, err := s.deps.Runner.Run(cfg)
 	trace := stop()
 	if err != nil {
 		s.deps.Metrics.Counter("chronus.benchmark.failed").Inc()
 		return repository.Benchmark{}, err
+	}
+	if span != nil {
+		span.SetAttr("gflops", fmt.Sprintf("%.3f", result.GFLOPS))
+		span.SetAttr("sim_runtime", result.Runtime.String())
 	}
 	s.deps.Metrics.Counter("chronus.benchmark.runs").Inc()
 	s.deps.Metrics.Histogram("chronus.benchmark.job_runtime").ObserveDuration(result.Runtime)

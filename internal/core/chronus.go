@@ -22,6 +22,7 @@ import (
 	"ecosched/internal/settings"
 	"ecosched/internal/sysinfo"
 	"ecosched/internal/telemetry"
+	"ecosched/internal/trace"
 )
 
 // ApplicationRunner is the paper's Application Runner integration
@@ -66,6 +67,9 @@ type Deps struct {
 	// Metrics is the optional observability registry; nil disables
 	// instrumentation (every metrics type is nil-safe).
 	Metrics *metrics.Registry
+	// Tracer is the optional decision tracer; nil disables spans (every
+	// trace type is nil-safe, so the hot path carries no overhead).
+	Tracer *trace.Tracer
 }
 
 func (d Deps) validate() error {

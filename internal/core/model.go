@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"ecosched/internal/optimizer"
 	"ecosched/internal/repository"
@@ -127,7 +129,12 @@ func (s *LoadModelService) Models() ([]repository.ModelMeta, error) {
 }
 
 // Run pre-loads the given model and returns its local registration.
-func (s *LoadModelService) Run(modelID int64) (settings.LocalModel, error) {
+func (s *LoadModelService) Run(modelID int64) (_ settings.LocalModel, err error) {
+	_, span := s.deps.Tracer.Start(context.Background(), "chronus.load_model")
+	if span != nil {
+		span.SetAttr("model_id", strconv.FormatInt(modelID, 10))
+		defer func() { span.End(err) }()
+	}
 	meta, err := s.deps.Repo.GetModel(modelID)
 	if err != nil {
 		return settings.LocalModel{}, err

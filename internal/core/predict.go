@@ -11,6 +11,7 @@ import (
 	"ecosched/internal/ecoplugin"
 	"ecosched/internal/optimizer"
 	"ecosched/internal/perfmodel"
+	"ecosched/internal/trace"
 )
 
 // Simulated decision latencies (what each step of the slurm-config
@@ -54,6 +55,20 @@ var _ ecoplugin.Predictor = (*PredictService)(nil)
 // with ecoplugin.ErrBudgetExceeded rather than burning the time — the
 // plugin then submits the job unmodified.
 func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
+	ctx, span := s.deps.Tracer.Start(ctx, "chronus.predict")
+	res, err := s.predict(ctx, req)
+	if span != nil {
+		span.SetAttr("source", string(res.Source))
+		span.SetAttr("sim_latency", res.Latency.String())
+		if err == nil {
+			span.SetAttr("config", res.Config.String())
+		}
+	}
+	span.End(err)
+	return res, err
+}
+
+func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
 	if err := ctx.Err(); err != nil {
 		return ecoplugin.PredictResult{}, err
 	}
@@ -62,6 +77,10 @@ func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictReque
 
 	if e, ok := s.cache.peek(key); ok {
 		m.Counter("chronus.predict.cache_hit").Inc()
+		if s.deps.Tracer != nil {
+			_, hs := s.deps.Tracer.Start(ctx, "predict.cache_hit")
+			hs.End(nil)
+		}
 		res := ecoplugin.PredictResult{Config: e.best, Latency: LatencyLocalRead, Source: ecoplugin.SourceCache}
 		m.Histogram("chronus.predict.latency").ObserveDuration(res.Latency)
 		return res, nil
@@ -70,13 +89,16 @@ func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictReque
 
 	e, isLoader := s.cache.lookup(key)
 	if !isLoader {
+		_, ws := s.deps.Tracer.Start(ctx, "predict.singleflight_wait")
 		select {
 		case <-ctx.Done():
+			ws.End(ctx.Err())
 			return ecoplugin.PredictResult{}, ctx.Err()
 		case <-e.done:
+			ws.End(nil)
 		}
 	} else {
-		best, opt, latency, source, err := s.load(req)
+		best, opt, latency, source, err := s.load(ctx, req)
 		s.cache.finish(key, e, best, opt, latency, source, err)
 		m.Gauge("chronus.predict.cache_entries").Set(float64(s.cache.size()))
 	}
@@ -96,8 +118,19 @@ func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictReque
 // load performs one uncached prediction: the pre-loaded local-disk
 // path when the model registry knows the pair, the cold database +
 // blob path otherwise (A2 only). The returned latency is what the
-// path cost, including the portion spent before an error.
-func (s *PredictService) load(req ecoplugin.PredictRequest) (perfmodel.Config, optimizer.Optimizer, time.Duration, ecoplugin.PredictSource, error) {
+// path cost, including the portion spent before an error. Each stage
+// (model read, database query, blob fetch, optimizer sweep) gets its
+// own child span carrying its simulated cost.
+func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest) (_ perfmodel.Config, _ optimizer.Optimizer, _ time.Duration, src ecoplugin.PredictSource, err error) {
+	var span *trace.Span
+	ctx, span = s.deps.Tracer.Start(ctx, "predict.load")
+	defer func() {
+		if span != nil {
+			span.SetAttr("path", string(src))
+		}
+		span.End(err)
+	}()
+
 	latency := LatencyLocalRead // the settings lookup below
 	cfg, err := s.deps.Settings.Load()
 	if err != nil {
@@ -109,12 +142,19 @@ func (s *PredictService) load(req ecoplugin.PredictRequest) (perfmodel.Config, o
 			return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, fmt.Errorf(
 				"core: pre-loaded path needs %v of a %v budget: %w", projected, req.Budget, ecoplugin.ErrBudgetExceeded)
 		}
+		_, rs := s.deps.Tracer.Start(ctx, "predict.read_model")
 		data, err := os.ReadFile(local.Path)
 		if err != nil {
+			rs.End(err)
 			return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, fmt.Errorf("core: pre-loaded model: %w", err)
 		}
 		latency += LatencyLocalRead
-		best, opt, err := decodeAndSweep(data)
+		if rs != nil {
+			rs.SetAttr("sim_latency", LatencyLocalRead.String())
+			rs.SetAttr("path", local.Path)
+		}
+		rs.End(nil)
+		best, opt, err := s.decodeAndSweepTraced(ctx, data)
 		latency += LatencyPredict
 		return best, opt, latency, ecoplugin.SourcePreloaded, err
 	}
@@ -133,8 +173,13 @@ func (s *PredictService) load(req ecoplugin.PredictRequest) (perfmodel.Config, o
 
 	// Cold path: find the system, its newest model, fetch the blob.
 	latency += LatencyDBQuery
+	_, dbs := s.deps.Tracer.Start(ctx, "predict.db_query")
+	if dbs != nil {
+		dbs.SetAttr("sim_latency", LatencyDBQuery.String())
+	}
 	systems, err := s.deps.Repo.ListSystems()
 	if err != nil {
+		dbs.End(err)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	var sysID int64 = -1
@@ -145,10 +190,13 @@ func (s *PredictService) load(req ecoplugin.PredictRequest) (perfmodel.Config, o
 		}
 	}
 	if sysID < 0 {
-		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf("core: unknown system %s", req.SystemHash)
+		err = fmt.Errorf("core: unknown system %s", req.SystemHash)
+		dbs.End(err)
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	models, err := s.deps.Repo.ListModels()
 	if err != nil {
+		dbs.End(err)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	var blobKey string
@@ -158,17 +206,40 @@ func (s *PredictService) load(req ecoplugin.PredictRequest) (perfmodel.Config, o
 		}
 	}
 	if blobKey == "" {
-		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf(
-			"core: no model for system %s application %s", req.SystemHash, req.BinaryHash)
+		err = fmt.Errorf("core: no model for system %s application %s", req.SystemHash, req.BinaryHash)
+		dbs.End(err)
+		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
+	}
+	dbs.End(nil)
+	_, bs := s.deps.Tracer.Start(ctx, "predict.blob_fetch")
+	if bs != nil {
+		bs.SetAttr("sim_latency", LatencyBlobFetch.String())
+		bs.SetAttr("key", blobKey)
 	}
 	data, err := s.deps.Blob.Get(blobKey)
+	bs.End(err)
 	if err != nil {
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	latency += LatencyBlobFetch
-	best, opt, err := decodeAndSweep(data)
+	best, opt, err := s.decodeAndSweepTraced(ctx, data)
 	latency += LatencyPredict
 	return best, opt, latency, ecoplugin.SourceCold, err
+}
+
+// decodeAndSweepTraced wraps decodeAndSweep in the predict.optimize
+// span — the stage the decoded-model cache exists to skip.
+func (s *PredictService) decodeAndSweepTraced(ctx context.Context, data []byte) (perfmodel.Config, optimizer.Optimizer, error) {
+	_, span := s.deps.Tracer.Start(ctx, "predict.optimize")
+	best, opt, err := decodeAndSweep(data)
+	if span != nil {
+		span.SetAttr("sim_latency", LatencyPredict.String())
+		if err == nil {
+			span.SetAttr("config", best.String())
+		}
+	}
+	span.End(err)
+	return best, opt, err
 }
 
 // decodeAndSweep unmarshals a model file, decodes its optimizer and

@@ -24,6 +24,7 @@ import (
 	"ecosched/internal/procfs"
 	"ecosched/internal/settings"
 	"ecosched/internal/slurm"
+	"ecosched/internal/trace"
 )
 
 // OptInComment is the sbatch comment that enables the plugin for a job
@@ -118,13 +119,15 @@ type Predictor interface {
 	Predict(ctx context.Context, req PredictRequest) (PredictResult, error)
 }
 
-// Plugin implements slurm.SubmitPlugin.
+// Plugin implements slurm.SubmitPlugin (and its traced extension,
+// slurm.CtxSubmitPlugin).
 type Plugin struct {
 	fs        procfs.FileReader
 	predictor Predictor
 	settings  settings.Store
 	budget    time.Duration
 	metrics   *metrics.Registry
+	tracer    *trace.Tracer
 
 	// Stats for observability and the A2 ablation. Fallbacks counts
 	// submissions that were left unmodified because prediction failed
@@ -134,6 +137,8 @@ type Plugin struct {
 	Fallbacks   int
 	LastErr     error
 }
+
+var _ slurm.CtxSubmitPlugin = (*Plugin)(nil)
 
 // Option configures optional plugin behaviour.
 type Option func(*Plugin)
@@ -148,6 +153,13 @@ func WithBudget(d time.Duration) Option {
 // WithMetrics attaches an observability registry.
 func WithMetrics(r *metrics.Registry) Option {
 	return func(p *Plugin) { p.metrics = r }
+}
+
+// WithTracer attaches a decision tracer; every submission then
+// produces an eco.submit span recording the verdict, source and chosen
+// configuration.
+func WithTracer(t *trace.Tracer) Option {
+	return func(p *Plugin) { p.tracer = t }
 }
 
 // New wires the plugin. The three collaborators are required; options
@@ -177,19 +189,47 @@ const hashLatency = time.Millisecond
 
 // JobSubmit implements slurm.SubmitPlugin.
 func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
+	return p.JobSubmitCtx(context.Background(), desc, submitUID)
+}
+
+// Verdicts recorded on the eco.submit span — the per-decision
+// attribution an operator replays with `chronus trace <job>`.
+const (
+	VerdictSkipped   = "skipped"   // the job did not opt in (or the plugin is off)
+	VerdictRewritten = "rewritten" // the Listing 4 rewrite was applied
+	VerdictFallback  = "fallback"  // prediction failed; job submitted unmodified
+)
+
+// JobSubmitCtx implements slurm.CtxSubmitPlugin: the traced submit
+// path. The span opened here is the parent of the whole prediction
+// (predict → cache|load → optimize), so one trace covers the full
+// decision.
+func (p *Plugin) JobSubmitCtx(ctx context.Context, desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
+	ctx, span := p.tracer.Start(ctx, "eco.submit")
+	lat, err := p.jobSubmit(ctx, desc, span)
+	if span != nil {
+		span.SetAttr("sim_latency", lat.String())
+	}
+	span.End(err)
+	return lat, err
+}
+
+func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace.Span) (time.Duration, error) {
 	p.Submissions++
 	p.metrics.Counter("eco.plugin.submissions").Inc()
 
 	st, err := p.settings.Load()
 	if err != nil {
 		// Unreadable settings: fail open, leave the job alone.
-		return hashLatency, p.fallBack(err)
+		return hashLatency, p.fallBack(span, err)
 	}
 	switch st.State {
 	case settings.StateDeactivated:
+		span.SetAttr("verdict", VerdictSkipped)
 		return hashLatency, nil
 	case settings.StateUser:
 		if desc.Comment != OptInComment {
+			span.SetAttr("verdict", VerdictSkipped)
 			return hashLatency, nil
 		}
 	case settings.StateActive:
@@ -198,7 +238,7 @@ func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration
 
 	sysHash, err := SystemHash(p.fs)
 	if err != nil {
-		return hashLatency, p.fallBack(err)
+		return hashLatency, p.fallBack(span, err)
 	}
 	binHash := BinaryHash(desc.BinaryPath)
 
@@ -207,14 +247,14 @@ func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration
 		// The hashes above already spent part of the budget.
 		req.Budget = p.budget - hashLatency
 		if req.Budget <= 0 {
-			return hashLatency, p.fallBack(ErrBudgetExceeded)
+			return hashLatency, p.fallBack(span, ErrBudgetExceeded)
 		}
 	}
-	res, err := p.predictor.Predict(context.Background(), req)
+	res, err := p.predictor.Predict(ctx, req)
 	total := hashLatency + res.Latency
 	p.metrics.Histogram("eco.plugin.predict_latency").ObserveDuration(res.Latency)
 	if err != nil {
-		return total, p.fallBack(err)
+		return total, p.fallBack(span, err)
 	}
 
 	// The Listing 4 rewrite.
@@ -226,18 +266,28 @@ func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration
 	p.metrics.Counter("eco.plugin.rewritten").Inc()
 	p.metrics.Counter("eco.plugin.source." + string(res.Source)).Inc()
 	p.LastErr = nil
+	if span != nil {
+		span.SetAttr("verdict", VerdictRewritten)
+		span.SetAttr("source", string(res.Source))
+		span.SetAttr("config", res.Config.String())
+		span.SetAttr("predict_sim_latency", res.Latency.String())
+	}
 	return total, nil
 }
 
 // fallBack records a fail-open outcome — the job proceeds unmodified —
 // and always returns nil so the caller can `return latency,
-// p.fallBack(err)` without risking a rejection.
-func (p *Plugin) fallBack(err error) error {
+// p.fallBack(span, err)` without risking a rejection.
+func (p *Plugin) fallBack(span *trace.Span, err error) error {
 	p.LastErr = err
 	p.Fallbacks++
 	p.metrics.Counter("eco.plugin.fallback").Inc()
 	if errors.Is(err, ErrBudgetExceeded) {
 		p.metrics.Counter("eco.plugin.budget_violations").Inc()
+	}
+	if span != nil {
+		span.SetAttr("verdict", VerdictFallback)
+		span.SetAttr("cause", err.Error())
 	}
 	return nil
 }

@@ -149,14 +149,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	sorted := append([]float64(nil), h.window...)
 	h.mu.Unlock()
-	return quantileOf(sorted, q)
+	sort.Float64s(sorted)
+	return sortedQuantile(sorted, q)
 }
 
-func quantileOf(samples []float64, q float64) float64 {
+// sortedQuantile is the nearest-rank quantile over an already-sorted
+// window, so callers needing several quantiles sort once and index.
+func sortedQuantile(samples []float64, q float64) float64 {
 	if len(samples) == 0 {
 		return math.NaN()
 	}
-	sort.Float64s(samples)
 	if q <= 0 {
 		return samples[0]
 	}
@@ -179,9 +181,10 @@ func (h *Histogram) stat() HistogramStat {
 	if st.Count > 0 {
 		st.Mean = st.Sum / float64(st.Count)
 	}
-	st.P50 = quantileOf(sorted, 0.50)
-	st.P90 = quantileOf(sorted, 0.90)
-	st.P99 = quantileOf(sorted, 0.99)
+	sort.Float64s(sorted)
+	st.P50 = sortedQuantile(sorted, 0.50)
+	st.P90 = sortedQuantile(sorted, 0.90)
+	st.P99 = sortedQuantile(sorted, 0.99)
 	return st
 }
 

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4) — what `chronus serve` returns on
+// /metrics. Metric names are sanitised to the Prometheus charset
+// (dots become underscores); histograms render as summaries with
+// quantile series plus _sum and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", p, p, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		p := promName(name)
+		fmt.Fprintf(w, "# TYPE %s summary\n", p)
+		if h.Count > 0 {
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", p, promFloat(h.P50))
+			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", p, promFloat(h.P90))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", p, promFloat(h.P99))
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", p, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", p, h.Count)
+	}
+}
+
+// promName maps a dotted metric name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (Go's %g is
+// compatible, including NaN and ±Inf spellings).
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }

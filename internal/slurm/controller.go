@@ -1,14 +1,17 @@
 package slurm
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"ecosched/internal/hw"
 	"ecosched/internal/metrics"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/simclock"
+	"ecosched/internal/trace"
 )
 
 // Workload models what a job's executable does on a node: how long it
@@ -112,6 +115,7 @@ type Controller struct {
 	policy    SchedulingPolicy
 	usage     map[uint32]float64 // user id → consumed CPU-seconds
 	metrics   *metrics.Registry  // nil = unobserved
+	tracer    *trace.Tracer      // nil = untraced
 }
 
 // NewController builds a controller over the given nodes with the
@@ -167,6 +171,11 @@ func (c *Controller) SetPolicy(p SchedulingPolicy) { c.policy = p }
 // disables instrumentation.
 func (c *Controller) SetMetrics(r *metrics.Registry) { c.metrics = r }
 
+// SetTracer attaches a decision tracer; nil (the default) disables
+// tracing. Every submission then produces one trace (the plugin chain
+// nests under it) and job lifecycle transitions become journal events.
+func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
+
 // Policy returns the active scheduling policy.
 func (c *Controller) Policy() SchedulingPolicy { return c.policy }
 
@@ -206,6 +215,28 @@ func (c *Controller) activePlugins() ([]SubmitPlugin, error) {
 // Submit is sbatch: run the submit-plugin chain, validate, and queue.
 // Array descriptions must go through SubmitArray.
 func (c *Controller) Submit(desc JobDesc) (*Job, error) {
+	return c.submitTraced(desc)
+}
+
+// submitTraced wraps the submission in the root span of the decision
+// trace: plugin spans nest under it and the assigned job id lands in
+// its attributes, which is how `chronus trace <job>` finds the trace.
+func (c *Controller) submitTraced(desc JobDesc) (*Job, error) {
+	ctx, span := c.tracer.Start(context.Background(), "slurm.submit")
+	job, err := c.submit(ctx, desc)
+	if span != nil {
+		if job != nil {
+			span.SetAttr(trace.AttrJobID, strconv.Itoa(job.ID))
+		}
+		if desc.Name != "" {
+			span.SetAttr("job_name", desc.Name)
+		}
+	}
+	span.End(err)
+	return job, err
+}
+
+func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 	if desc.IsArray() {
 		return nil, fmt.Errorf("slurm: array description submitted directly; use SubmitArray")
 	}
@@ -216,7 +247,13 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 	}
 	var pluginTime time.Duration
 	for _, p := range plugins {
-		lat, err := p.JobSubmit(&desc, desc.UserID)
+		var lat time.Duration
+		var err error
+		if cp, ok := p.(CtxSubmitPlugin); ok {
+			lat, err = cp.JobSubmitCtx(ctx, &desc, desc.UserID)
+		} else {
+			lat, err = p.JobSubmit(&desc, desc.UserID)
+		}
 		pluginTime += lat
 		if err != nil {
 			c.metrics.Counter("slurm.jobs.rejected").Inc()
@@ -231,6 +268,9 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 	}
 	if len(plugins) > 0 {
 		c.metrics.Histogram("slurm.plugin.chain_latency").ObserveDuration(pluginTime)
+		if s := trace.FromContext(ctx); s != nil {
+			s.SetAttr("plugin_sim_latency", pluginTime.String())
+		}
 	}
 
 	if desc.NumTasks <= 0 {
@@ -355,6 +395,11 @@ func nodeSatisfies(n *nodeD, desc JobDesc) bool {
 // schedule places pending jobs onto idle nodes in policy order.
 func (c *Controller) schedule() {
 	now := c.sim.Now()
+	_, span := c.tracer.Start(context.Background(), "slurm.schedule")
+	if span != nil {
+		span.SetAttr("pending", strconv.Itoa(len(c.pending)))
+		defer func() { span.End(nil) }()
+	}
 	c.policy.Order(c.pending, now, c.usage)
 	remaining := c.pending[:0]
 	for _, job := range c.pending {
@@ -458,6 +503,15 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	job.GFLOPS = gflops
 	node.current = job
 	node.hwJob = hwJob
+	if c.tracer != nil {
+		c.tracer.Event("job.start", map[string]string{
+			trace.AttrJobID: strconv.Itoa(job.ID),
+			"node":          node.name,
+			"cores":         strconv.Itoa(hwJob.Config.Cores),
+			"freq_khz":      strconv.Itoa(hwJob.Config.FreqKHz),
+			"threads":       strconv.Itoa(hwJob.Config.ThreadsPerCore),
+		})
+	}
 
 	sys0, cpu0 := node.hw.EnergyJ()
 	c.sim.After(duration, func() {
@@ -495,6 +549,20 @@ func (c *Controller) finish(job *Job) {
 		c.metrics.Counter("slurm.jobs.failed").Inc()
 	case StateCancelled:
 		c.metrics.Counter("slurm.jobs.cancelled").Inc()
+	}
+	if c.tracer != nil {
+		attrs := map[string]string{
+			trace.AttrJobID: strconv.Itoa(job.ID),
+			"state":         string(job.State),
+		}
+		if job.Reason != "" {
+			attrs["reason"] = job.Reason
+		}
+		if job.SystemJ > 0 {
+			attrs["system_kj"] = fmt.Sprintf("%.3f", job.SystemJ/1000)
+			attrs["cpu_kj"] = fmt.Sprintf("%.3f", job.CPUJ/1000)
+		}
+		c.tracer.Event("job.end", attrs)
 	}
 	c.acct.record(job)
 	for _, fn := range c.onDone {

@@ -11,6 +11,7 @@
 package slurm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -131,4 +132,13 @@ func (j *Job) String() string {
 type SubmitPlugin interface {
 	Name() string
 	JobSubmit(desc *JobDesc, submitUID uint32) (time.Duration, error)
+}
+
+// CtxSubmitPlugin is an optional extension of SubmitPlugin: the
+// controller prefers JobSubmitCtx when a plugin implements it, passing
+// the submission's context so the plugin's decision trace nests under
+// the controller's submit span.
+type CtxSubmitPlugin interface {
+	SubmitPlugin
+	JobSubmitCtx(ctx context.Context, desc *JobDesc, submitUID uint32) (time.Duration, error)
 }

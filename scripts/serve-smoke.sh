@@ -1,0 +1,45 @@
+#!/bin/sh
+# Smoke test for `chronus serve`: boot the exposition server against a
+# fresh data directory and require /metrics, /healthz and /trace to
+# answer 200 with the expected shapes. Used by `make serve-smoke` and CI.
+set -eu
+
+workdir=$(mktemp -d)
+logfile="$workdir/serve.log"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$workdir/chronus" ./cmd/chronus
+
+# Port 0 lets the kernel pick; the server prints the resolved address.
+"$workdir/chronus" -data "$workdir/data" serve -addr 127.0.0.1:0 >"$logfile" 2>&1 &
+pid=$!
+
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's#.*on \(http://[0-9.:]*\)$#\1#p' "$logfile" | head -n1)
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server died:"; cat "$logfile"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "serve-smoke: server never announced its address:"; cat "$logfile"; exit 1; }
+
+fail() { echo "serve-smoke: $1"; exit 1; }
+
+health=$(curl -fsS "$base/healthz") || fail "/healthz not 200"
+echo "$health" | grep -q '"status":"ok"' || fail "/healthz body: $health"
+
+ct=$(curl -fsS -o "$workdir/metrics.txt" -w '%{content_type}' "$base/metrics") \
+    || fail "/metrics not 200"
+case "$ct" in
+    text/plain*version=0.0.4*) ;;
+    *) fail "/metrics content type: $ct" ;;
+esac
+
+curl -fsS "$base/trace" | grep -q '^\[' || fail "/trace is not a JSON array"
+
+echo "serve-smoke: ok ($base)"

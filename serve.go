@@ -1,0 +1,90 @@
+package ecosched
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ecosched/internal/trace"
+)
+
+// ServeConfig configures the observability HTTP surface of `chronus
+// serve`.
+type ServeConfig struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// Handler returns the `chronus serve` exposition endpoints:
+//
+//	/metrics  Prometheus text exposition of the accumulated +
+//	          live metrics registry
+//	/trace    recent decision-trace events as JSON (?n= caps the count)
+//	/healthz  liveness: 200 {"status":"ok"} — independent of the
+//	          simulation, so it answers during an in-flight benchmark
+//
+// and, when cfg.Pprof is set, net/http/pprof under /debug/pprof/.
+func (d *Deployment) Handler(cfg ServeConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/trace", d.handleTrace)
+	mux.HandleFunc("/healthz", handleHealthz)
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// handleMetrics serves the union of the persisted snapshot (previous
+// CLI invocations) and the live registry, so a scrape sees the same
+// accumulated totals `chronus metrics` prints plus everything this
+// process has done since.
+func (d *Deployment) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap, err := ReadMetrics(d.dataDir)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	snap.Merge(d.Metrics.Snapshot())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.WritePrometheus(w)
+}
+
+// handleTrace serves recent completed trace records, newest last, as
+// a JSON array: this process's in-memory ring when it has traced
+// anything, otherwise the persisted journal — so a `chronus serve`
+// started after an ecosim run still shows the decisions it journaled.
+func (d *Deployment) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := d.Tracer.Recent()
+	if len(events) == 0 {
+		events, _ = trace.ReadJournal(filepath.Join(d.dataDir, EventsFile))
+	}
+	if s := r.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "invalid n", http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	if events == nil {
+		events = []trace.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(events)
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
