@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench serve-smoke clean
+.PHONY: all build vet test race bench bench-json serve-smoke clean
 
 all: vet test
 
@@ -18,6 +18,12 @@ race:
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
+
+# bench-json runs every benchmark once and records the results as
+# machine-readable JSON (BENCH_<date>.json), committed alongside the
+# code so perf regressions show up in review diffs.
+bench-json:
+	$(GO) test -run XXX -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 
 # serve-smoke boots `chronus serve` against a fresh data directory and
 # fails unless /metrics and /healthz answer 200 with the expected

@@ -9,6 +9,7 @@ package ecosched
 //	go test -bench=. -benchmem
 import (
 	"context"
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -33,6 +34,7 @@ func benchDeployment(b *testing.B) *Deployment {
 // BenchmarkTable1Sweep regenerates Tables 1 and 4–6: the full
 // 138-configuration GFLOPS/W sweep through the Chronus pipeline.
 func BenchmarkTable1Sweep(b *testing.B) {
+	b.ReportAllocs()
 	var headline float64
 	for i := 0; i < b.N; i++ {
 		d := benchDeployment(b)
@@ -53,6 +55,7 @@ func BenchmarkTable1Sweep(b *testing.B) {
 // BenchmarkFig14Surface regenerates the Figure 14 surfaces from the
 // sweep (surface extraction itself, on a cached sweep).
 func BenchmarkFig14Surface(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDeployment(b)
 	res, err := d.RunSweepExperiment()
 	if err != nil {
@@ -69,6 +72,7 @@ func BenchmarkFig14Surface(b *testing.B) {
 // BenchmarkFig15Trace regenerates Figure 15 and Table 2: the
 // best-vs-standard full runs with 3-second BMC sampling.
 func BenchmarkFig15Trace(b *testing.B) {
+	b.ReportAllocs()
 	var sysRed float64
 	for i := 0; i < b.N; i++ {
 		d := benchDeployment(b)
@@ -84,6 +88,7 @@ func BenchmarkFig15Trace(b *testing.B) {
 // BenchmarkTable3Baselines regenerates Table 3, including the GA
 // baseline search.
 func BenchmarkTable3Baselines(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDeployment(b)
 	if _, err := d.BenchmarkConfigs(PaperSweepConfigs(), 3*time.Second); err != nil {
 		b.Fatal(err)
@@ -107,6 +112,7 @@ func BenchmarkTable3Baselines(b *testing.B) {
 // BenchmarkEq1PowerAccuracy regenerates the Equation 1 / Figure 13
 // IPMI-vs-wattmeter comparison.
 func BenchmarkEq1PowerAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	var diff float64
 	for i := 0; i < b.N; i++ {
 		d := benchDeployment(b)
@@ -122,6 +128,7 @@ func BenchmarkEq1PowerAccuracy(b *testing.B) {
 // BenchmarkOptimizers is ablation A1: training plus best-configuration
 // search per optimizer, on the full sweep history.
 func BenchmarkOptimizers(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDeployment(b)
 	if _, err := d.BenchmarkConfigs(PaperSweepConfigs(), 3*time.Second); err != nil {
 		b.Fatal(err)
@@ -133,6 +140,7 @@ func BenchmarkOptimizers(b *testing.B) {
 	space := paperSpace()
 	for _, name := range optimizer.Names() {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opt, err := optimizer.New(name)
 				if err != nil {
@@ -153,6 +161,7 @@ func BenchmarkOptimizers(b *testing.B) {
 // job_submit_eco invocation with a pre-loaded model — the code that
 // must fit Slurm's submit budget.
 func BenchmarkSubmitLatency(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDeployment(b)
 	if _, err := d.BenchmarkConfigs(QuickSweepConfigs(), 0); err != nil {
 		b.Fatal(err)
@@ -183,6 +192,7 @@ func BenchmarkSubmitLatency(b *testing.B) {
 // JSON decode and no optimizer sweep — it is the LatencyLocalRead
 // lookup alone.
 func BenchmarkPredictCacheHit(b *testing.B) {
+	b.ReportAllocs()
 	d := benchDeployment(b)
 	if _, err := d.BenchmarkConfigs(QuickSweepConfigs(), 0); err != nil {
 		b.Fatal(err)
@@ -227,6 +237,7 @@ func BenchmarkPredictCacheHit(b *testing.B) {
 // nil-tracer no-op branches and must stay at its pre-instrumentation
 // cost.
 func BenchmarkPredictCacheHitTraced(b *testing.B) {
+	b.ReportAllocs()
 	d, err := NewDeployment(Options{DataDir: b.TempDir(), Trace: true})
 	if err != nil {
 		b.Fatal(err)
@@ -267,6 +278,7 @@ func BenchmarkPredictCacheHitTraced(b *testing.B) {
 // BenchmarkGPUSweep is extension X3: the GPU DVFS grid sweep plus the
 // constrained tune.
 func BenchmarkGPUSweep(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		m := DefaultGPU()
@@ -285,6 +297,7 @@ func BenchmarkGPUSweep(b *testing.B) {
 // BenchmarkEnergyMarketBestStart is extension X2: a 48-hour start-time
 // search at 15-minute resolution.
 func BenchmarkEnergyMarketBestStart(b *testing.B) {
+	b.ReportAllocs()
 	m := NewEnergyMarket(2023)
 	window := time.Date(2023, 5, 10, 0, 0, 0, 0, time.UTC)
 	for i := 0; i < b.N; i++ {
@@ -298,6 +311,7 @@ func BenchmarkEnergyMarketBestStart(b *testing.B) {
 // BenchmarkFullPipeline measures the paper's end-to-end user journey:
 // quick sweep, train, pre-load, one rewritten job.
 func BenchmarkFullPipeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d := benchDeployment(b)
 		if _, err := d.BenchmarkConfigs(QuickSweepConfigs(), 0); err != nil {
@@ -325,6 +339,7 @@ func BenchmarkFullPipeline(b *testing.B) {
 // write throughput of the two Repository implementations (the paper's
 // SQLite stand-in vs CSV).
 func BenchmarkRepositoryBackends(b *testing.B) {
+	b.ReportAllocs()
 	row := repository.Benchmark{
 		SystemID: 1, AppHash: "hpcg",
 		Cores: 32, FreqKHz: 2_200_000, ThreadsPerCore: 1,
@@ -332,6 +347,7 @@ func BenchmarkRepositoryBackends(b *testing.B) {
 		SystemKJ: 214.4, CPUKJ: 109.8, RuntimeSeconds: 1127,
 	}
 	b.Run("filedb", func(b *testing.B) {
+		b.ReportAllocs()
 		repo, err := repository.OpenDB(b.TempDir())
 		if err != nil {
 			b.Fatal(err)
@@ -348,6 +364,7 @@ func BenchmarkRepositoryBackends(b *testing.B) {
 		}
 	})
 	b.Run("csv", func(b *testing.B) {
+		b.ReportAllocs()
 		repo, err := repository.OpenCSV(b.TempDir())
 		if err != nil {
 			b.Fatal(err)
@@ -368,6 +385,7 @@ func BenchmarkRepositoryBackends(b *testing.B) {
 // BenchmarkGovernorAblation is ablation A3: four full HPCG runs, one
 // per cpufreq governor.
 func BenchmarkGovernorAblation(b *testing.B) {
+	b.ReportAllocs()
 	var ecoKJ float64
 	for i := 0; i < b.N; i++ {
 		d := benchDeployment(b)
@@ -378,4 +396,32 @@ func BenchmarkGovernorAblation(b *testing.B) {
 		ecoKJ = rows[len(rows)-1].SystemKJ
 	}
 	b.ReportMetric(ecoKJ, "eco-pin-kJ")
+}
+
+// BenchmarkParallelSweep runs the full 138-configuration sweep through
+// the worker pool at different widths. On a multi-core runner the wide
+// variants should show near-linear speedup; every variant must land on
+// the paper's winner, demonstrating that parallelism changes only the
+// wall clock, never the tables.
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallelism-%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := NewDeployment(Options{DataDir: b.TempDir(), Parallelism: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := d.RunSweepExperiment()
+				if err != nil {
+					b.Fatal(err)
+				}
+				best := res.Best()
+				if best.Cores != 32 || best.GHz != 2.2 || best.HyperThread {
+					b.Fatalf("parallelism %d changed the winner: %+v", p, best)
+				}
+				d.Close()
+			}
+		})
+	}
 }

@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark runs can be committed
+// next to the code they measured and diffed across revisions.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem ./... | benchjson > BENCH_2026-01-01.json
+//
+// The output captures the run environment (goos/goarch/cpu), and for
+// every benchmark its package, iteration count and all reported
+// metrics — the standard ns/op, B/op and allocs/op plus any custom
+// units emitted via b.ReportMetric (headline-%, hits/op, ...). The
+// document contains no wall-clock timestamp: the run date lives in
+// the file name, and the content stays byte-comparable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go-test benchmark output. Non-benchmark lines (PASS,
+// ok, coverage noise) are ignored; header lines set the environment,
+// with `pkg:` tracking which package the following benchmarks belong
+// to.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseBenchLine splits one result line:
+//
+//	BenchmarkName-8   10   1326 ns/op   1.000 hits/op   153 B/op   1 allocs/op
+//
+// into name, iterations and value/unit metric pairs.
+func parseBenchLine(line, pkg string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations in %q: %w", line, err)
+	}
+	// The name is kept verbatim, including any -N GOMAXPROCS suffix:
+	// a sub-benchmark named "parallelism-4" is indistinguishable from
+	// the decoration, so stripping would corrupt real names.
+	b := Benchmark{
+		Name:       fields[0],
+		Package:    pkg,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ecosched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1Sweep    	       1	1069421356 ns/op	        12.83 headline-%	331730960 B/op	 4882274 allocs/op
+BenchmarkPredictCacheHit 	    5000	       159.8 ns/op	         1.000 hits/op	       6 B/op	       0 allocs/op
+BenchmarkParallelSweep/parallelism-4         	       1	1100000000 ns/op
+PASS
+ok  	ecosched	12.3s
+pkg: ecosched/internal/filedb
+BenchmarkInsert 	   10000	      1200 ns/op
+ok  	ecosched/internal/filedb	0.1s
+`
+
+func TestParseSample(t *testing.T) {
+	r, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GOOS != "linux" || r.GOARCH != "amd64" || !strings.Contains(r.CPU, "Xeon") {
+		t.Fatalf("environment = %+v", r)
+	}
+	if len(r.Benchmarks) != 4 {
+		t.Fatalf("%d benchmarks parsed", len(r.Benchmarks))
+	}
+	sweep := r.Benchmarks[0]
+	if sweep.Name != "BenchmarkTable1Sweep" || sweep.Package != "ecosched" || sweep.Iterations != 1 {
+		t.Fatalf("sweep = %+v", sweep)
+	}
+	if sweep.Metrics["headline-%"] != 12.83 || sweep.Metrics["allocs/op"] != 4882274 {
+		t.Fatalf("sweep metrics = %+v", sweep.Metrics)
+	}
+	hit := r.Benchmarks[1]
+	if hit.Iterations != 5000 || hit.Metrics["ns/op"] != 159.8 || hit.Metrics["hits/op"] != 1 {
+		t.Fatalf("cache hit = %+v", hit)
+	}
+	// Sub-benchmark names survive verbatim.
+	if r.Benchmarks[2].Name != "BenchmarkParallelSweep/parallelism-4" {
+		t.Fatalf("sub-benchmark name = %q", r.Benchmarks[2].Name)
+	}
+	// pkg: header lines re-scope the following benchmarks.
+	if r.Benchmarks[3].Package != "ecosched/internal/filedb" {
+		t.Fatalf("package = %q", r.Benchmarks[3].Package)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	r, err := parse(strings.NewReader("PASS\nok \tecosched\t1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v", r.Benchmarks)
+	}
+}
+
+func TestParseMalformedLines(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX\n",                // no iteration count
+		"BenchmarkX abc 1 ns/op\n",    // non-numeric iterations
+		"BenchmarkX 1 12 ns/op 42\n",  // dangling metric value
+		"BenchmarkX 1 twelve ns/op\n", // non-numeric metric
+	} {
+		if _, err := parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	chronus -data DIR benchmark [HPCG_PATH] [-configurations FILE] [-quick]
+//	chronus -data DIR [-parallelism N] benchmark [HPCG_PATH] [-configurations FILE] [-quick]
 //	chronus -data DIR init-model -model TYPE [-system ID]
 //	chronus -data DIR load-model [-model ID]
 //	chronus -data DIR slurm-config [-n COUNT] SYSTEM_HASH BINARY_HASH
@@ -46,6 +46,7 @@ func main() {
 func run(args []string) error {
 	global := flag.NewFlagSet("chronus", flag.ContinueOnError)
 	dataDir := global.String("data", "./chronus-data", "state directory (database, blobs, settings)")
+	parallelism := global.Int("parallelism", 0, "benchmark sweep worker count (0 = GOMAXPROCS); results are identical at any setting")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +69,8 @@ func run(args []string) error {
 
 	// Every stateful command traces into DataDir/events.jsonl, so a
 	// later `chronus trace <job>` can replay its decisions.
-	d, err := ecosched.New(*dataDir, ecosched.WithLogWriter(os.Stdout), ecosched.WithTracing())
+	d, err := ecosched.New(*dataDir, ecosched.WithLogWriter(os.Stdout), ecosched.WithTracing(),
+		ecosched.WithParallelism(*parallelism))
 	if err != nil {
 		return err
 	}

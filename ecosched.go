@@ -26,6 +26,7 @@
 package ecosched
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -112,6 +113,12 @@ type Options struct {
 	// Trace and TraceJournalMaxBytes are ignored and the deployment
 	// does not own a journal.
 	Tracer *trace.Tracer
+	// Parallelism is the benchmark sweep's worker-pool width: how many
+	// configurations are measured concurrently, each on its own
+	// deterministically seeded simulated node. <= 0 means GOMAXPROCS.
+	// Results (rows, ids, winner) are identical at every setting; only
+	// wall-clock time changes.
+	Parallelism int
 }
 
 // Option mutates Options — the functional configuration of New.
@@ -152,6 +159,9 @@ func WithTraceJournalMaxBytes(n int64) Option {
 
 // WithTracer injects an externally-built tracer.
 func WithTracer(t *trace.Tracer) Option { return func(o *Options) { o.Tracer = t } }
+
+// WithParallelism sets the benchmark sweep's worker-pool width.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
 // Deployment is a wired, running simulated installation.
 type Deployment struct {
@@ -326,6 +336,34 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		return nil, err
 	}
 
+	// The benchmark sweep measures each configuration on its own
+	// single-node cluster, built here. Seeding by configuration index
+	// (never by worker or arrival order) makes each measurement a pure
+	// function of (configuration, calibration, seed), which is what
+	// lets the worker pool promise byte-identical sweep results at any
+	// parallelism.
+	benchConf, err := slurm.ParseConf("ClusterName=bench\n")
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	seed := opts.Seed
+	provision := func(idx int) (core.BenchNode, error) {
+		bsim := simclock.New()
+		bnode := hw.NewNode(bsim, hw.DefaultSpec(), calib, seed+uint64(idx)*0x9e3779b9)
+		bbmc := ipmi.NewBMC(bnode)
+		bbmc.ChmodWorldReadable()
+		bcluster, err := slurm.NewController(bsim, benchConf, bnode)
+		if err != nil {
+			return core.BenchNode{}, err
+		}
+		bsystem, err := core.NewIPMISystemService(bsim, bbmc, bnode, false)
+		if err != nil {
+			return core.BenchNode{}, err
+		}
+		return core.BenchNode{Cluster: bcluster, System: bsystem}, nil
+	}
+
 	chronus, err := core.New(core.Deps{
 		Repo:     repo,
 		Blob:     blobStore,
@@ -339,6 +377,9 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		LogW:     opts.LogW,
 		Metrics:  reg,
 		Tracer:   tracer,
+
+		Provision:   provision,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		cleanup()
@@ -485,6 +526,13 @@ func QuickSweepConfigs() []Config {
 // A zero interval uses the paper's default sampling rate.
 func (d *Deployment) BenchmarkConfigs(configs []Config, interval time.Duration) (int64, error) {
 	return d.Chronus.Benchmark.Run(configs, interval)
+}
+
+// BenchmarkConfigsContext is BenchmarkConfigs with cancellation: a
+// canceled ctx stops the sweep after the in-flight configurations,
+// keeping the contiguous prefix already persisted.
+func (d *Deployment) BenchmarkConfigsContext(ctx context.Context, configs []Config, interval time.Duration) (int64, error) {
+	return d.Chronus.Benchmark.RunContext(ctx, configs, interval)
 }
 
 // TrainModel runs `chronus init-model` for the deployment's (single)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ecosched/internal/paperdata"
+	"ecosched/internal/repository"
 	"ecosched/internal/slurm"
 )
 
@@ -471,5 +472,36 @@ func TestAddStreamApplicationFacade(t *testing.T) {
 	}
 	if sRec.FreqKHz != 1_500_000 {
 		t.Fatalf("STREAM rewritten to %d kHz, want 1.5 GHz (bandwidth-bound)", sRec.FreqKHz)
+	}
+}
+
+// TestParallelismDoesNotChangeResults is the deployment-level
+// determinism check for the worker-pool sweep: the same configurations
+// benchmarked at parallelism 1 and 4 must persist identical rows —
+// the paper's tables cannot depend on how many workers measured them.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	configs := QuickSweepConfigs()
+	rows := make([][]repository.Benchmark, 2)
+	for i, p := range []int{1, 4} {
+		d := newDeployment(t, Options{Parallelism: p})
+		if _, err := d.BenchmarkConfigs(configs, 0); err != nil {
+			t.Fatal(err)
+		}
+		systems, err := d.Repo.ListSystems()
+		if err != nil || len(systems) != 1 {
+			t.Fatalf("systems = %v, err = %v", systems, err)
+		}
+		rows[i], err = d.Repo.ListBenchmarks(systems[0].ID, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows[i]) != len(configs) {
+			t.Fatalf("parallelism %d persisted %d rows, want %d", p, len(rows[i]), len(configs))
+		}
+	}
+	for i := range rows[0] {
+		if rows[0][i] != rows[1][i] {
+			t.Fatalf("row %d differs between parallelism 1 and 4:\n  %+v\n  %+v", i, rows[0][i], rows[1][i])
+		}
 	}
 }

@@ -82,6 +82,14 @@ func (s *BenchmarkService) DefaultConfigs() ([]perfmodel.Config, error) {
 // Run benchmarks each configuration once and returns the run id. A
 // zero interval uses DefaultSampleInterval.
 func (s *BenchmarkService) Run(configs []perfmodel.Config, interval time.Duration) (int64, error) {
+	return s.RunContext(context.Background(), configs, interval)
+}
+
+// RunContext is Run with caller-controlled cancellation: when ctx is
+// canceled mid-sweep the configurations already measured stay
+// persisted (a contiguous prefix of the sweep) and ctx.Err() comes
+// back. ctx also parents the sweep's trace spans.
+func (s *BenchmarkService) RunContext(ctx context.Context, configs []perfmodel.Config, interval time.Duration) (int64, error) {
 	if len(configs) == 0 {
 		return 0, fmt.Errorf("core: no configurations to benchmark")
 	}
@@ -89,7 +97,7 @@ func (s *BenchmarkService) Run(configs []perfmodel.Config, interval time.Duratio
 		interval = DefaultSampleInterval
 	}
 
-	ctx, span := s.deps.Tracer.Start(context.Background(), "chronus.benchmark")
+	ctx, span := s.deps.Tracer.Start(ctx, "chronus.benchmark")
 	if span != nil {
 		span.SetAttr("configurations", strconv.Itoa(len(configs)))
 	}
@@ -112,12 +120,24 @@ func (s *BenchmarkService) run(ctx context.Context, configs []perfmodel.Config, 
 		return 0, err
 	}
 
-	for _, cfg := range configs {
-		if err := cfg.Validate(sysRec.Cores, sysRec.ThreadsPerCore); err != nil {
+	if _, rebinds := s.deps.Runner.(ClusterRebinder); rebinds && s.deps.Provision != nil {
+		// Worker-pool sweep: per-config node stacks, batched writes.
+		if err := s.runPooled(ctx, runID, sysID, sysRec, appHash, configs, interval); err != nil {
 			return runID, err
 		}
-		if _, err := s.benchmarkOne(ctx, runID, sysID, appHash, cfg, interval); err != nil {
-			return runID, err
+	} else {
+		// Serial in-place sweep on the deployment's own node (the
+		// paper's shape): one configuration at a time, one row per save.
+		for _, cfg := range configs {
+			if err := ctx.Err(); err != nil {
+				return runID, err
+			}
+			if err := cfg.Validate(sysRec.Cores, sysRec.ThreadsPerCore); err != nil {
+				return runID, err
+			}
+			if _, err := s.benchmarkOne(ctx, runID, sysID, appHash, cfg, interval); err != nil {
+				return runID, err
+			}
 		}
 	}
 	s.log.Printf("Run data has been saved to the repository (run %d).", runID)

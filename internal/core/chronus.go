@@ -70,6 +70,15 @@ type Deps struct {
 	// Tracer is the optional decision tracer; nil disables spans (every
 	// trace type is nil-safe, so the hot path carries no overhead).
 	Tracer *trace.Tracer
+
+	// Provision, when non-nil, turns the benchmark sweep into a
+	// worker-pool fan-out: each configuration is measured on its own
+	// independently provisioned node stack (see sweep.go). Nil keeps
+	// the paper's serial in-place sweep on Runner/System.
+	Provision NodeProvisioner
+	// Parallelism caps how many configurations are measured at once
+	// when Provision is set; <= 0 means GOMAXPROCS.
+	Parallelism int
 }
 
 func (d Deps) validate() error {

@@ -17,7 +17,8 @@ import (
 // waits for the accounting record.
 type HPCGRunner struct {
 	Controller *slurm.Controller
-	HPCGPath   string // path to the xhpcg binary, as the CLI takes it
+	HPCGPath   string  // path to the xhpcg binary, as the CLI takes it
+	jobGFLOP   float64 // job size, kept so Rebind can re-register it
 }
 
 // NewHPCGRunner wires the runner and registers the HPCG workload model
@@ -34,7 +35,13 @@ func NewHPCGRunner(c *slurm.Controller, hpcgPath string, jobGFLOP float64) (*HPC
 		return nil, fmt.Errorf("core: non-positive job size %v GFLOP", jobGFLOP)
 	}
 	c.RegisterWorkload(hpcgPath, slurm.FixedWorkWorkload{Label: "hpcg", GFLOP: jobGFLOP})
-	return &HPCGRunner{Controller: c, HPCGPath: hpcgPath}, nil
+	return &HPCGRunner{Controller: c, HPCGPath: hpcgPath, jobGFLOP: jobGFLOP}, nil
+}
+
+// Rebind implements ClusterRebinder: the same HPCG application and job
+// size on a freshly provisioned cluster.
+func (r *HPCGRunner) Rebind(c *slurm.Controller) (ApplicationRunner, error) {
+	return NewHPCGRunner(c, r.HPCGPath, r.jobGFLOP)
 }
 
 // Name implements ApplicationRunner.

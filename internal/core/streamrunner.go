@@ -66,6 +66,12 @@ func NewStreamRunner(c *slurm.Controller, streamPath string) (*StreamRunner, err
 	return &StreamRunner{Controller: c, StreamPath: streamPath, model: model}, nil
 }
 
+// Rebind implements ClusterRebinder: the same STREAM application on a
+// freshly provisioned cluster.
+func (r *StreamRunner) Rebind(c *slurm.Controller) (ApplicationRunner, error) {
+	return NewStreamRunner(c, r.StreamPath)
+}
+
 // Name implements ApplicationRunner.
 func (r *StreamRunner) Name() string { return "stream" }
 

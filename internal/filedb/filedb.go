@@ -211,6 +211,54 @@ func (t *Table) Insert(v any) (int64, error) {
 	return id, nil
 }
 
+// InsertMany stores n records under consecutive fresh ids in one
+// contiguous write — the append-only-log analog of a single
+// transaction. value is called with each slot index and the id that
+// slot will receive, so callers can embed the final id in the stored
+// payload (no follow-up Update records). The batch is laid out
+// front-to-back in one Write; a crash mid-write leaves a torn tail
+// that replay truncates, so the surviving records are always a
+// contiguous id-prefix of the batch.
+func (t *Table) InsertMany(n int, value func(i int, id int64) (any, error)) ([]int64, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int64, n)
+	recs := make([]record, n)
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		id := t.nextID + int64(i)
+		v, err := value(i, id)
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("filedb: marshal: %w", err)
+		}
+		rec := record{Op: "put", ID: id, Data: data}
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return nil, fmt.Errorf("filedb: %w", err)
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		buf.Write(hdr[:])
+		buf.Write(payload)
+		ids[i], recs[i] = id, rec
+	}
+	if _, err := t.f.Write(buf.Bytes()); err != nil {
+		return nil, fmt.Errorf("filedb: append %s: %w", t.path, err)
+	}
+	for _, rec := range recs {
+		t.apply(rec)
+	}
+	return ids, nil
+}
+
 // Update replaces the record stored under id.
 func (t *Table) Update(id int64, v any) error {
 	data, err := json.Marshal(v)

@@ -470,3 +470,127 @@ func TestCompactPreservesNextID(t *testing.T) {
 	// Within one session (no reopen), deleted ids are never reused —
 	// covered by TestDeletedIDNotReused.
 }
+
+func TestInsertManyRoundTrip(t *testing.T) {
+	db := openTestDB(t)
+	tbl, _ := db.Table("rows")
+	if _, err := tbl.Insert(row{"seed", 0}); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := tbl.InsertMany(3, func(i int, id int64) (any, error) {
+		return row{Name: fmt.Sprintf("batch-%d", i), Value: float64(id)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 2 || ids[1] != 3 || ids[2] != 4 {
+		t.Fatalf("ids = %v, want [2 3 4]", ids)
+	}
+	for i, id := range ids {
+		var got row
+		if err := tbl.Get(id, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != fmt.Sprintf("batch-%d", i) || got.Value != float64(id) {
+			t.Fatalf("id %d: got %+v (value callback did not see the final id)", id, got)
+		}
+	}
+	// One record per row, no Insert+Update pairs: nothing is dead.
+	if dead := tbl.DeadRecords(); dead != 0 {
+		t.Fatalf("DeadRecords = %d after batch insert, want 0", dead)
+	}
+	if id, _ := tbl.Insert(row{"after", 1}); id != 5 {
+		t.Fatalf("next id after batch = %d, want 5", id)
+	}
+}
+
+func TestInsertManyEmptyAndError(t *testing.T) {
+	db := openTestDB(t)
+	tbl, _ := db.Table("rows")
+	if ids, err := tbl.InsertMany(0, nil); err != nil || ids != nil {
+		t.Fatalf("empty batch: %v %v", ids, err)
+	}
+	boom := errors.New("boom")
+	_, err := tbl.InsertMany(2, func(i int, id int64) (any, error) {
+		if i == 1 {
+			return nil, boom
+		}
+		return row{"ok", 1}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed batch writes nothing: the table is unchanged and the id
+	// sequence has not advanced.
+	if tbl.Len() != 0 {
+		t.Fatalf("Len = %d after failed batch", tbl.Len())
+	}
+	if id, _ := tbl.Insert(row{"x", 1}); id != 1 {
+		t.Fatalf("id = %d after failed batch, want 1", id)
+	}
+}
+
+func TestInsertManyPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	tbl, _ := db.Table("t")
+	if _, err := tbl.InsertMany(138, func(i int, id int64) (any, error) {
+		return row{Name: fmt.Sprint(i), Value: float64(i)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, _ := Open(dir)
+	defer db2.Close()
+	tbl2, _ := db2.Table("t")
+	if tbl2.Len() != 138 {
+		t.Fatalf("Len after reopen = %d, want 138", tbl2.Len())
+	}
+	var got row
+	if err := tbl2.Get(138, &got); err != nil || got.Name != "137" {
+		t.Fatalf("last row: %+v %v", got, err)
+	}
+}
+
+func TestInsertManyTornTailLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir)
+	tbl, _ := db.Table("t")
+	if _, err := tbl.InsertMany(10, func(i int, id int64) (any, error) {
+		return row{Name: fmt.Sprint(i), Value: float64(i)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Simulate a crash mid-batch: chop off the last 11 bytes, tearing
+	// the final record.
+	path := filepath.Join(dir, "t.log")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-11); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, err := db2.Table("t")
+	if err != nil {
+		t.Fatalf("reopen after torn batch tail: %v", err)
+	}
+	// The survivors must be a contiguous id-prefix of the batch.
+	ids := tbl2.IDs()
+	if len(ids) != 9 {
+		t.Fatalf("%d rows survived, want 9", len(ids))
+	}
+	for i, id := range ids {
+		if id != int64(i+1) {
+			t.Fatalf("ids = %v, not a contiguous prefix", ids)
+		}
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -119,6 +121,11 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if h.window == nil {
+		// Full-capacity up front: the hot path (every power sample, every
+		// submit) must never pay an append regrowth.
+		h.window = make([]float64, 0, histogramWindow)
+	}
 	if len(h.window) < histogramWindow {
 		h.window = append(h.window, v)
 	} else {
@@ -386,16 +393,30 @@ func (s Snapshot) WriteText(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		h := s.Histograms[name]
+		format := fmtSeconds
+		if strings.HasSuffix(name, "_rows") {
+			format = fmtCount
+		}
 		fmt.Fprintf(w, "histogram %-44s count=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
-			name, h.Count, fmtSeconds(h.Mean), fmtSeconds(h.P50), fmtSeconds(h.P90), fmtSeconds(h.P99), fmtSeconds(h.Max))
+			name, h.Count, format(h.Mean), format(h.P50), format(h.P90), format(h.P99), format(h.Max))
 	}
 }
 
 // fmtSeconds renders a seconds-valued observation as a duration —
-// every histogram in this codebase observes latencies in seconds.
+// histograms observe latencies in seconds unless their name says
+// otherwise (see fmtCount).
 func fmtSeconds(v float64) string {
 	if math.IsNaN(v) {
 		return "-"
 	}
 	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// fmtCount renders a dimensionless observation (histograms named
+// `*_rows` observe batch sizes, not latencies).
+func fmtCount(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

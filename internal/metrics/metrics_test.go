@@ -183,3 +183,17 @@ func TestWriteTextStableAndReadable(t *testing.T) {
 		t.Fatalf("latency not rendered as a duration:\n%s", out)
 	}
 }
+
+func TestWriteTextRowsHistogramsArePlainNumbers(t *testing.T) {
+	r := New()
+	r.Histogram("sweep.batch_rows").Observe(8)
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "mean=8 ") {
+		t.Fatalf("batch size not rendered as a plain number:\n%s", out)
+	}
+	if strings.Contains(out, "8s") {
+		t.Fatalf("batch size rendered as a duration:\n%s", out)
+	}
+}

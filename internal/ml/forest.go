@@ -2,6 +2,8 @@ package ml
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ecosched/internal/simclock"
 )
@@ -35,32 +37,54 @@ type Forest struct {
 
 // FitForest trains a random forest: each tree sees a bootstrap
 // resample of the rows and a random feature subset per split.
+//
+// Trees are fitted concurrently. Determinism is preserved by deriving
+// one sub-seed per tree from the forest seed up front, so each tree's
+// randomness (bootstrap draws + per-split feature subsets) is a pure
+// function of (opts.Seed, tree index) — the same seed yields the same
+// forest at any GOMAXPROCS.
 func FitForest(d Dataset, opts ForestOptions) (*Forest, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults(d.Features())
 	rng := simclock.NewRNG(opts.Seed)
+	seeds := make([]uint64, opts.Trees)
+	for t := range seeds {
+		seeds[t] = rng.Uint64()
+	}
 	n := len(d.X)
-	forest := &Forest{Trees: make([]*Tree, 0, opts.Trees)}
+	forest := &Forest{Trees: make([]*Tree, opts.Trees)}
+	errs := make([]error, opts.Trees)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
 	for t := 0; t < opts.Trees; t++ {
-		// Bootstrap resample.
-		boot := Dataset{X: make([][]float64, n), Y: make([]float64, n)}
-		for i := 0; i < n; i++ {
-			j := rng.Intn(n)
-			boot.X[i] = d.X[j]
-			boot.Y[i] = d.Y[j]
-		}
-		tree, err := FitTree(boot, TreeOptions{
-			MaxDepth:    opts.MaxDepth,
-			MinLeafSize: opts.MinLeafSize,
-			MaxFeatures: opts.MaxFeatures,
-			rng:         rng,
-		})
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			trng := simclock.NewRNG(seeds[t])
+			// Bootstrap resample.
+			boot := Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+			for i := 0; i < n; i++ {
+				j := trng.Intn(n)
+				boot.X[i] = d.X[j]
+				boot.Y[i] = d.Y[j]
+			}
+			forest.Trees[t], errs[t] = FitTree(boot, TreeOptions{
+				MaxDepth:    opts.MaxDepth,
+				MinLeafSize: opts.MinLeafSize,
+				MaxFeatures: opts.MaxFeatures,
+				rng:         trng,
+			})
+		}(t)
+	}
+	wg.Wait()
+	for t, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("ml: forest tree %d: %w", t, err)
 		}
-		forest.Trees = append(forest.Trees, tree)
 	}
 	return forest, nil
 }

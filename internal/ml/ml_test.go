@@ -227,12 +227,16 @@ func TestForestFitsReasonably(t *testing.T) {
 }
 
 func TestForestSmoothsSingleTreeVariance(t *testing.T) {
-	// On noisy data, the forest's held-out error should not exceed a
-	// deep single tree's by much; typically it is lower.
+	// On noisy data, averaging bootstrap replicas should not leave the
+	// forest's held-out error above a deep single tree's; typically it
+	// is far lower. MaxFeatures is pinned to the full feature count so
+	// the test isolates bagging: per-split feature subsetting on a
+	// strongly linear target adds bias that can swamp the variance
+	// reduction at some seeds, which is not the property under test.
 	train := linearData(300, 1.0, 8)
 	test := linearData(300, 1.0, 9)
 	tree, _ := FitTree(train, TreeOptions{})
-	forest, _ := FitForest(train, ForestOptions{Trees: 40, Seed: 8})
+	forest, _ := FitForest(train, ForestOptions{Trees: 40, MaxFeatures: 3, Seed: 8})
 	if MSE(forest, test) > 1.1*MSE(tree, test) {
 		t.Fatalf("forest MSE %.3f worse than single tree %.3f on held-out data",
 			MSE(forest, test), MSE(tree, test))

@@ -24,6 +24,12 @@ type CSVRepo struct {
 	runs       []Run
 	benchmarks []Benchmark
 	models     []ModelMeta
+
+	// Write-op accounting for benchmarks.csv: full atomic rewrites
+	// (single saves) vs append-mode batch writes. Exposed via
+	// BenchmarkWriteStats so tests can pin the sweep's I/O complexity.
+	benchRewrites int
+	benchAppends  int
 }
 
 // OpenCSV opens (creating if needed) a CSV repository rooted at dir.
@@ -122,6 +128,45 @@ func (r *CSVRepo) SaveBenchmark(b Benchmark) (int64, error) {
 	b.ID = nextID(len(r.benchmarks), func(i int) int64 { return r.benchmarks[i].ID })
 	r.benchmarks = append(r.benchmarks, b)
 	return b.ID, r.writeBenchmarks()
+}
+
+// SaveBenchmarks implements Repository. The batch is appended to
+// benchmarks.csv in one write instead of rewriting the whole file per
+// row; a missing file is created (header included) atomically.
+func (r *CSVRepo) SaveBenchmarks(bs []Benchmark) ([]int64, error) {
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	for i, b := range bs {
+		if b.SystemID == 0 {
+			return nil, fmt.Errorf("repository: benchmark %d without system id", i)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := nextID(len(r.benchmarks), func(i int) int64 { return r.benchmarks[i].ID })
+	ids := make([]int64, len(bs))
+	rows := make([][]string, len(bs))
+	for i := range bs {
+		bs[i].ID = id + int64(i)
+		ids[i] = bs[i].ID
+		rows[i] = benchmarkRow(bs[i])
+	}
+	if err := r.appendRows("benchmarks.csv", benchmarkHeader, rows); err != nil {
+		return nil, err
+	}
+	r.benchmarks = append(r.benchmarks, bs...)
+	r.benchAppends++
+	return ids, nil
+}
+
+// BenchmarkWriteStats reports how benchmarks.csv has been written
+// since open: full rewrites (per-row saves) and append-mode batch
+// writes.
+func (r *CSVRepo) BenchmarkWriteStats() (rewrites, appends int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.benchRewrites, r.benchAppends
 }
 
 // ListBenchmarks implements Repository.
@@ -380,22 +425,51 @@ func (r *CSVRepo) writeRuns() error {
 		[]string{"id", "system_id", "app_hash", "started_unix", "note"}, rows)
 }
 
+var benchmarkHeader = []string{"id", "run_id", "system_id", "app_hash", "cores", "freq_khz", "threads_per_core",
+	"gflops", "avg_system_w", "avg_cpu_w", "system_kj", "cpu_kj", "runtime_seconds", "created_unix",
+	"trace_key"}
+
+func benchmarkRow(b Benchmark) []string {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return []string{
+		strconv.FormatInt(b.ID, 10), strconv.FormatInt(b.RunID, 10),
+		strconv.FormatInt(b.SystemID, 10), b.AppHash,
+		strconv.Itoa(b.Cores), strconv.Itoa(b.FreqKHz), strconv.Itoa(b.ThreadsPerCore),
+		ff(b.GFLOPS), ff(b.AvgSystemW), ff(b.AvgCPUW), ff(b.SystemKJ), ff(b.CPUKJ),
+		ff(b.RuntimeSeconds), strconv.FormatInt(b.Created.Unix(), 10), b.TraceKey,
+	}
+}
+
 func (r *CSVRepo) writeBenchmarks() error {
 	rows := make([][]string, len(r.benchmarks))
-	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for i, b := range r.benchmarks {
-		rows[i] = []string{
-			strconv.FormatInt(b.ID, 10), strconv.FormatInt(b.RunID, 10),
-			strconv.FormatInt(b.SystemID, 10), b.AppHash,
-			strconv.Itoa(b.Cores), strconv.Itoa(b.FreqKHz), strconv.Itoa(b.ThreadsPerCore),
-			ff(b.GFLOPS), ff(b.AvgSystemW), ff(b.AvgCPUW), ff(b.SystemKJ), ff(b.CPUKJ),
-			ff(b.RuntimeSeconds), strconv.FormatInt(b.Created.Unix(), 10), b.TraceKey,
-		}
+		rows[i] = benchmarkRow(b)
 	}
-	return r.writeFile("benchmarks.csv",
-		[]string{"id", "run_id", "system_id", "app_hash", "cores", "freq_khz", "threads_per_core",
-			"gflops", "avg_system_w", "avg_cpu_w", "system_kj", "cpu_kj", "runtime_seconds", "created_unix",
-			"trace_key"}, rows)
+	r.benchRewrites++
+	return r.writeFile("benchmarks.csv", benchmarkHeader, rows)
+}
+
+// appendRows appends rows to an existing CSV file in one write; when
+// the file does not exist yet it is created atomically with header +
+// rows. Unlike writeFile this is O(len(rows)), not O(total rows).
+func (r *CSVRepo) appendRows(name string, header []string, rows [][]string) error {
+	path := filepath.Join(r.dir, name)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if os.IsNotExist(err) {
+		return r.writeFile(name, header, rows)
+	}
+	if err != nil {
+		return fmt.Errorf("repository: %w", err)
+	}
+	w := csv.NewWriter(f)
+	werr := w.WriteAll(rows) // WriteAll flushes
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("repository: %w", werr)
+	}
+	return nil
 }
 
 func (r *CSVRepo) writeModels() error {

@@ -146,6 +146,25 @@ func (r *DBRepo) SaveBenchmark(b Benchmark) (int64, error) {
 	return id, r.benchmarks.Update(id, b)
 }
 
+// SaveBenchmarks implements Repository. The whole batch goes to the
+// log as one contiguous write via filedb.InsertMany, with the final
+// id embedded in each stored row up front — no per-row Insert+Update
+// pair, so a batch of n rows costs n log records and one syscall.
+func (r *DBRepo) SaveBenchmarks(bs []Benchmark) ([]int64, error) {
+	if len(bs) == 0 {
+		return nil, nil
+	}
+	for i, b := range bs {
+		if b.SystemID == 0 {
+			return nil, fmt.Errorf("repository: benchmark %d without system id", i)
+		}
+	}
+	return r.benchmarks.InsertMany(len(bs), func(i int, id int64) (any, error) {
+		bs[i].ID = id
+		return bs[i], nil
+	})
+}
+
 // ListBenchmarks implements Repository.
 func (r *DBRepo) ListBenchmarks(systemID int64, appHash string) ([]Benchmark, error) {
 	var out []Benchmark

@@ -102,6 +102,11 @@ type Repository interface {
 
 	// Benchmarks.
 	SaveBenchmark(Benchmark) (int64, error)
+	// SaveBenchmarks persists a batch of rows in one write: ids are
+	// assigned in slice order and the whole batch is committed
+	// together (append-mode CSV, single filedb transaction), so a
+	// sweep of n configurations does O(n) I/O instead of O(n²).
+	SaveBenchmarks([]Benchmark) ([]int64, error)
 	// ListBenchmarks filters by system and, when appHash != "", by
 	// application. Results come back in insertion order.
 	ListBenchmarks(systemID int64, appHash string) ([]Benchmark, error)

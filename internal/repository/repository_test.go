@@ -276,3 +276,138 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		})
 	}
 }
+
+func TestSaveBenchmarksBatch(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, open func(t *testing.T) Repository) {
+		r := open(t)
+		sysID, _ := r.SaveSystem(sampleSystem())
+		// A single save first, so the batch has to continue an existing
+		// id sequence.
+		firstID, err := r.SaveBenchmark(Benchmark{
+			SystemID: sysID, AppHash: "hpcg", Cores: 1, FreqKHz: 1_500_000,
+			ThreadsPerCore: 1, GFLOPS: 1, AvgSystemW: 100, Created: epoch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]Benchmark, 5)
+		for i := range batch {
+			batch[i] = Benchmark{
+				SystemID: sysID, AppHash: "hpcg",
+				Cores: i + 2, FreqKHz: 2_200_000, ThreadsPerCore: 1,
+				GFLOPS: float64(i), AvgSystemW: 150, Created: epoch,
+			}
+		}
+		ids, err := r.SaveBenchmarks(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 5 {
+			t.Fatalf("ids = %v", ids)
+		}
+		for i, id := range ids {
+			if id != firstID+int64(i+1) {
+				t.Fatalf("ids = %v, want consecutive after %d", ids, firstID)
+			}
+		}
+		rows, _ := r.ListBenchmarks(sysID, "hpcg")
+		if len(rows) != 6 {
+			t.Fatalf("ListBenchmarks = %d rows", len(rows))
+		}
+		for i, b := range rows[1:] {
+			if b.ID != ids[i] || b.Cores != i+2 {
+				t.Fatalf("row %d out of order: %+v", i, b)
+			}
+		}
+		if _, err := r.SaveBenchmarks(nil); err != nil {
+			t.Fatalf("empty batch: %v", err)
+		}
+		if _, err := r.SaveBenchmarks([]Benchmark{{AppHash: "x"}}); err == nil {
+			t.Fatal("batch row without system id accepted")
+		}
+	})
+}
+
+func TestSaveBenchmarksPersistAcrossReopen(t *testing.T) {
+	type opener func(dir string) (Repository, error)
+	impls := map[string]opener{
+		"filedb": func(dir string) (Repository, error) { return OpenDB(dir) },
+		"csv":    func(dir string) (Repository, error) { return OpenCSV(dir) },
+	}
+	for name, open := range impls {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			r, err := open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysID, _ := r.SaveSystem(sampleSystem())
+			batch := make([]Benchmark, 138)
+			for i := range batch {
+				batch[i] = Benchmark{
+					SystemID: sysID, AppHash: "hpcg",
+					Cores: i%32 + 1, FreqKHz: 2_200_000, ThreadsPerCore: 1,
+					GFLOPS: float64(i), AvgSystemW: 190.1, Created: epoch,
+					TraceKey: "traces/run1/x.csv",
+				}
+			}
+			ids, err := r.SaveBenchmarks(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Close()
+
+			r2, err := open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r2.Close()
+			rows, _ := r2.ListBenchmarks(sysID, "hpcg")
+			if len(rows) != 138 {
+				t.Fatalf("reopen: %d rows, want 138", len(rows))
+			}
+			last := rows[len(rows)-1]
+			if last.ID != ids[137] || last.GFLOPS != 137 || last.TraceKey != "traces/run1/x.csv" {
+				t.Fatalf("last row mangled: %+v", last)
+			}
+		})
+	}
+}
+
+// TestCSVBenchmarkWriteCounts pins the sweep I/O fix: per-row saves
+// keep the atomic whole-file rewrite, batches append in one write.
+func TestCSVBenchmarkWriteCounts(t *testing.T) {
+	r, err := OpenCSV(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sysID, _ := r.SaveSystem(sampleSystem())
+	bench := func(c int) Benchmark {
+		return Benchmark{SystemID: sysID, AppHash: "hpcg", Cores: c,
+			FreqKHz: 2_200_000, ThreadsPerCore: 1, GFLOPS: 1, AvgSystemW: 100, Created: epoch}
+	}
+	if _, err := r.SaveBenchmark(bench(1)); err != nil {
+		t.Fatal(err)
+	}
+	if rw, ap := r.BenchmarkWriteStats(); rw != 1 || ap != 0 {
+		t.Fatalf("after single save: rewrites=%d appends=%d", rw, ap)
+	}
+	batch := make([]Benchmark, 50)
+	for i := range batch {
+		batch[i] = bench(i + 2)
+	}
+	if _, err := r.SaveBenchmarks(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SaveBenchmarks([]Benchmark{bench(60)}); err != nil {
+		t.Fatal(err)
+	}
+	rw, ap := r.BenchmarkWriteStats()
+	if rw != 1 {
+		t.Fatalf("batch path rewrote the file: rewrites=%d", rw)
+	}
+	if ap != 2 {
+		t.Fatalf("appends=%d, want one per batch (2)", ap)
+	}
+}
