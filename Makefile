@@ -1,14 +1,23 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json serve-smoke clean
+.PHONY: all build vet lint test race bench bench-json serve-smoke clean
 
-all: vet test
+all: vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's own analyzer suite (internal/lint via
+# cmd/ecolint): determinism, context flow, hot-path I/O, lock scope,
+# and metric naming. Whole-module mode is the authoritative gate; the
+# same binary also speaks the vet protocol
+# (go vet -vettool=bin/ecolint ./...).
+lint: build
+	$(GO) build -o bin/ecolint ./cmd/ecolint
+	./bin/ecolint .
 
 test: build
 	$(GO) test ./...

@@ -1,0 +1,183 @@
+// Command ecolint runs the project's analyzer suite (internal/lint):
+// nodeterminism, ctxflow, hotpathio, lockscope, metricname.
+//
+// Two modes:
+//
+//	ecolint [dir]           whole-module mode: load every package of the
+//	                        module rooted at dir (default ".") and run
+//	                        all five analyzers, including the
+//	                        whole-program hot-path traversal. This is
+//	                        what `make lint` runs.
+//
+//	go vet -vettool=$(which ecolint) ./...
+//	                        vet-tool mode: speaks the cmd/vet unit
+//	                        checker protocol (-V=full handshake, then a
+//	                        *.cfg file per package). Each package is
+//	                        checked in isolation, so the cross-package
+//	                        half of hotpathio/lockscope is reduced to
+//	                        what is visible locally; whole-module mode
+//	                        remains the authoritative gate.
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ecosched/internal/lint"
+)
+
+func main() {
+	// The cmd/go tool-ID handshake: `ecolint -V=full` must print
+	// "<name> version <ver> ..." before vet will run us.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("ecolint version devel buildID=ecolint-%s\n", version)
+		return
+	}
+	// cmd/go probes `ecolint -flags` for the tool's analyzer flags;
+	// ecolint exposes none, so answer with the empty JSON list.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVetTool(os.Args[1]))
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ecolint [-list] [module-dir]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	os.Exit(runModule(root))
+}
+
+// version feeds the buildID in the -V=full handshake; bump when the
+// analyzer set or configuration changes so vet's result cache misses.
+const version = "1"
+
+func runModule(root string) int {
+	prog, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
+		return 1
+	}
+	diags := lint.Run(prog, lint.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ecolint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/vet's per-package JSON config file
+// that the unit-checker mode needs.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ecolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// vet requires the facts file to exist even though ecolint's
+	// analyzers exchange none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
+			return 1
+		}
+	}
+	// Whole-module mode skips test files (tests legitimately use the
+	// wall clock and ad-hoc span names); keep unit mode consistent.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	prog, err := lint.LoadUnit(cfg.ImportPath, moduleRoot(cfg.Dir), goFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
+		return 1
+	}
+	diags := lint.Run(prog, lint.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [ecolint/%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod and returns the
+// module path declared there, or "" when none is found.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if data, err := os.ReadFile(filepath.Join(d, "go.mod")); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

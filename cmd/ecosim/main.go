@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"ecosched"
+	"ecosched/internal/ecoplugin"
 	"ecosched/internal/slurm"
 )
 
@@ -121,7 +122,7 @@ func run(dataDir, model string, full bool) error {
 func printDecision(d *ecosched.Deployment, jobID int) {
 	events := d.DecisionTrace(jobID)
 	for _, e := range events {
-		if e.Name != "eco.submit" {
+		if e.Name != ecoplugin.SpanSubmit {
 			continue
 		}
 		a := e.Attrs

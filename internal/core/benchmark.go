@@ -97,7 +97,7 @@ func (s *BenchmarkService) RunContext(ctx context.Context, configs []perfmodel.C
 		interval = DefaultSampleInterval
 	}
 
-	ctx, span := s.deps.Tracer.Start(ctx, "chronus.benchmark")
+	ctx, span := s.deps.Tracer.Start(ctx, spanBenchmark)
 	if span != nil {
 		span.SetAttr("configurations", strconv.Itoa(len(configs)))
 	}
@@ -147,7 +147,7 @@ func (s *BenchmarkService) run(ctx context.Context, configs []perfmodel.Config, 
 // benchmarkOne is steps 1–3 of the paper's benchmarking flow: start
 // the job, sample IPMI until it finishes, save the benchmark.
 func (s *BenchmarkService) benchmarkOne(ctx context.Context, runID, sysID int64, appHash string, cfg perfmodel.Config, interval time.Duration) (_ repository.Benchmark, err error) {
-	_, span := s.deps.Tracer.Start(ctx, "benchmark.run")
+	_, span := s.deps.Tracer.Start(ctx, spanBenchmarkRun)
 	if span != nil {
 		span.SetAttr("config", cfg.String())
 		defer func() { span.End(err) }()
@@ -156,15 +156,15 @@ func (s *BenchmarkService) benchmarkOne(ctx context.Context, runID, sysID int64,
 	result, err := s.deps.Runner.Run(cfg)
 	trace := stop()
 	if err != nil {
-		s.deps.Metrics.Counter("chronus.benchmark.failed").Inc()
+		s.deps.Metrics.Counter(metricBenchmarkFailed).Inc()
 		return repository.Benchmark{}, err
 	}
 	if span != nil {
 		span.SetAttr("gflops", fmt.Sprintf("%.3f", result.GFLOPS))
 		span.SetAttr("sim_runtime", result.Runtime.String())
 	}
-	s.deps.Metrics.Counter("chronus.benchmark.runs").Inc()
-	s.deps.Metrics.Histogram("chronus.benchmark.job_runtime").ObserveDuration(result.Runtime)
+	s.deps.Metrics.Counter(metricBenchmarkRuns).Inc()
+	s.deps.Metrics.Histogram(metricBenchmarkJobRuntime).ObserveDuration(result.Runtime)
 	agg, err := trace.Aggregate()
 	if err != nil {
 		return repository.Benchmark{}, fmt.Errorf("core: benchmark trace: %w", err)

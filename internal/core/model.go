@@ -130,7 +130,7 @@ func (s *LoadModelService) Models() ([]repository.ModelMeta, error) {
 
 // Run pre-loads the given model and returns its local registration.
 func (s *LoadModelService) Run(modelID int64) (_ settings.LocalModel, err error) {
-	_, span := s.deps.Tracer.Start(context.Background(), "chronus.load_model")
+	_, span := s.deps.Tracer.Start(context.Background(), spanLoadModel)
 	if span != nil {
 		span.SetAttr("model_id", strconv.FormatInt(modelID, 10))
 		defer func() { span.End(err) }()
@@ -180,7 +180,7 @@ func (s *LoadModelService) Run(modelID int64) (_ settings.LocalModel, err error)
 	// The pair now resolves to a different model; a cached prediction
 	// for it would be stale.
 	s.cache.invalidate(file.SystemHash, meta.AppHash)
-	s.deps.Metrics.Counter("chronus.model.loads").Inc()
+	s.deps.Metrics.Counter(metricModelLoads).Inc()
 	s.log.Printf("model %d pre-loaded to %s", meta.ID, path)
 	return local, nil
 }

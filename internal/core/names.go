@@ -1,0 +1,34 @@
+package core
+
+// Metric, span, and event names. ecolint/metricname requires every
+// name handed to metrics.Registry or trace.Tracer to be a
+// package-level constant in the chronus.* namespace, so the whole
+// exposition surface is greppable from this one block and renames are
+// single-line diffs.
+const (
+	spanPredict          = "chronus.predict"
+	spanPredictCacheHit  = "chronus.predict.cache_hit"
+	spanPredictWait      = "chronus.predict.singleflight_wait"
+	spanPredictLoad      = "chronus.predict.load"
+	spanPredictReadModel = "chronus.predict.read_model"
+	spanPredictDBQuery   = "chronus.predict.db_query"
+	spanPredictBlobFetch = "chronus.predict.blob_fetch"
+	spanPredictOptimize  = "chronus.predict.optimize"
+	spanBenchmark        = "chronus.benchmark"
+	spanBenchmarkRun     = "chronus.benchmark.run"
+	spanLoadModel        = "chronus.load_model"
+
+	metricPredictCacheHit         = "chronus.predict.cache_hit"
+	metricPredictCacheMiss        = "chronus.predict.cache_miss"
+	metricPredictLatency          = "chronus.predict.latency"
+	metricPredictCacheEntries     = "chronus.predict.cache_entries"
+	metricPredictBudgetViolations = "chronus.predict.budget_violations"
+	metricPredictCold             = "chronus.predict.cold"
+	metricBenchmarkFailed         = "chronus.benchmark.failed"
+	metricBenchmarkRuns           = "chronus.benchmark.runs"
+	metricBenchmarkJobRuntime     = "chronus.benchmark.job_runtime"
+	metricModelLoads              = "chronus.model.loads"
+	metricSweepWorkers            = "chronus.sweep.workers"
+	metricSweepQueueDepth         = "chronus.sweep.queue_depth"
+	metricSweepBatchRows          = "chronus.sweep.batch_rows"
+)

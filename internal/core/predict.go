@@ -55,7 +55,7 @@ var _ ecoplugin.Predictor = (*PredictService)(nil)
 // with ecoplugin.ErrBudgetExceeded rather than burning the time — the
 // plugin then submits the job unmodified.
 func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
-	ctx, span := s.deps.Tracer.Start(ctx, "chronus.predict")
+	ctx, span := s.deps.Tracer.Start(ctx, spanPredict)
 	res, err := s.predict(ctx, req)
 	if span != nil {
 		span.SetAttr("source", string(res.Source))
@@ -76,20 +76,20 @@ func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictReque
 	key := cacheKey{req.SystemHash, req.BinaryHash}
 
 	if e, ok := s.cache.peek(key); ok {
-		m.Counter("chronus.predict.cache_hit").Inc()
+		m.Counter(metricPredictCacheHit).Inc()
 		if s.deps.Tracer != nil {
-			_, hs := s.deps.Tracer.Start(ctx, "predict.cache_hit")
+			_, hs := s.deps.Tracer.Start(ctx, spanPredictCacheHit)
 			hs.End(nil)
 		}
 		res := ecoplugin.PredictResult{Config: e.best, Latency: LatencyLocalRead, Source: ecoplugin.SourceCache}
-		m.Histogram("chronus.predict.latency").ObserveDuration(res.Latency)
+		m.Histogram(metricPredictLatency).ObserveDuration(res.Latency)
 		return res, nil
 	}
-	m.Counter("chronus.predict.cache_miss").Inc()
+	m.Counter(metricPredictCacheMiss).Inc()
 
 	e, isLoader := s.cache.lookup(key)
 	if !isLoader {
-		_, ws := s.deps.Tracer.Start(ctx, "predict.singleflight_wait")
+		_, ws := s.deps.Tracer.Start(ctx, spanPredictWait)
 		select {
 		case <-ctx.Done():
 			ws.End(ctx.Err())
@@ -100,18 +100,18 @@ func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictReque
 	} else {
 		best, opt, latency, source, err := s.load(ctx, req)
 		s.cache.finish(key, e, best, opt, latency, source, err)
-		m.Gauge("chronus.predict.cache_entries").Set(float64(s.cache.size()))
+		m.Gauge(metricPredictCacheEntries).Set(float64(s.cache.size()))
 	}
 
 	if e.err != nil {
 		if errors.Is(e.err, ecoplugin.ErrBudgetExceeded) {
-			m.Counter("chronus.predict.budget_violations").Inc()
+			m.Counter(metricPredictBudgetViolations).Inc()
 		}
 		return ecoplugin.PredictResult{Latency: e.latency}, e.err
 	}
 	// Waiters ride the loader's work and share its cost and source.
 	res := ecoplugin.PredictResult{Config: e.best, Latency: e.latency, Source: e.source}
-	m.Histogram("chronus.predict.latency").ObserveDuration(res.Latency)
+	m.Histogram(metricPredictLatency).ObserveDuration(res.Latency)
 	return res, nil
 }
 
@@ -123,7 +123,7 @@ func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictReque
 // own child span carrying its simulated cost.
 func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest) (_ perfmodel.Config, _ optimizer.Optimizer, _ time.Duration, src ecoplugin.PredictSource, err error) {
 	var span *trace.Span
-	ctx, span = s.deps.Tracer.Start(ctx, "predict.load")
+	ctx, span = s.deps.Tracer.Start(ctx, spanPredictLoad)
 	defer func() {
 		if span != nil {
 			span.SetAttr("path", string(src))
@@ -142,7 +142,7 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 			return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, fmt.Errorf(
 				"core: pre-loaded path needs %v of a %v budget: %w", projected, req.Budget, ecoplugin.ErrBudgetExceeded)
 		}
-		_, rs := s.deps.Tracer.Start(ctx, "predict.read_model")
+		_, rs := s.deps.Tracer.Start(ctx, spanPredictReadModel)
 		data, err := os.ReadFile(local.Path)
 		if err != nil {
 			rs.End(err)
@@ -163,7 +163,7 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, fmt.Errorf(
 			"core: no pre-loaded model for system %s application %s", req.SystemHash, req.BinaryHash)
 	}
-	s.deps.Metrics.Counter("chronus.predict.cold").Inc()
+	s.deps.Metrics.Counter(metricPredictCold).Inc()
 
 	projected := latency + LatencyDBQuery + LatencyBlobFetch + LatencyPredict
 	if req.Budget > 0 && projected > req.Budget {
@@ -173,7 +173,7 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 
 	// Cold path: find the system, its newest model, fetch the blob.
 	latency += LatencyDBQuery
-	_, dbs := s.deps.Tracer.Start(ctx, "predict.db_query")
+	_, dbs := s.deps.Tracer.Start(ctx, spanPredictDBQuery)
 	if dbs != nil {
 		dbs.SetAttr("sim_latency", LatencyDBQuery.String())
 	}
@@ -211,7 +211,7 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
 	dbs.End(nil)
-	_, bs := s.deps.Tracer.Start(ctx, "predict.blob_fetch")
+	_, bs := s.deps.Tracer.Start(ctx, spanPredictBlobFetch)
 	if bs != nil {
 		bs.SetAttr("sim_latency", LatencyBlobFetch.String())
 		bs.SetAttr("key", blobKey)
@@ -230,7 +230,7 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 // decodeAndSweepTraced wraps decodeAndSweep in the predict.optimize
 // span — the stage the decoded-model cache exists to skip.
 func (s *PredictService) decodeAndSweepTraced(ctx context.Context, data []byte) (perfmodel.Config, optimizer.Optimizer, error) {
-	_, span := s.deps.Tracer.Start(ctx, "predict.optimize")
+	_, span := s.deps.Tracer.Start(ctx, spanPredictOptimize)
 	best, opt, err := decodeAndSweep(data)
 	if span != nil {
 		span.SetAttr("sim_latency", LatencyPredict.String())

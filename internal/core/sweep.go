@@ -94,8 +94,8 @@ func (s *BenchmarkService) runPooled(ctx context.Context, runID, sysID int64, sy
 	}
 
 	workers := s.parallelism(limit)
-	s.deps.Metrics.Gauge("chronus.sweep.workers").Set(float64(workers))
-	queueDepth := s.deps.Metrics.Gauge("chronus.sweep.queue_depth")
+	s.deps.Metrics.Gauge(metricSweepWorkers).Set(float64(workers))
+	queueDepth := s.deps.Metrics.Gauge(metricSweepQueueDepth)
 
 	// The job queue is pre-filled and closed; cancellation is a check
 	// at the top of the worker loop, so in-flight measurements finish
@@ -145,7 +145,7 @@ func (s *BenchmarkService) runPooled(ctx context.Context, runID, sysID int64, sy
 	var batch []measured
 	for m := range results {
 		if m.err != nil {
-			s.deps.Metrics.Counter("chronus.benchmark.failed").Inc()
+			s.deps.Metrics.Counter(metricBenchmarkFailed).Inc()
 			fail(m.idx, m.err)
 		} else {
 			pending[m.idx] = m
@@ -192,13 +192,13 @@ func (s *BenchmarkService) commitBatch(batch []measured) error {
 		m.row.Created = s.deps.Now()
 		rows[i] = m.row
 		s.log.Printf("GFLOP/s rating found: %.5f", m.row.GFLOPS)
-		s.deps.Metrics.Counter("chronus.benchmark.runs").Inc()
-		s.deps.Metrics.Histogram("chronus.benchmark.job_runtime").Observe(m.row.RuntimeSeconds)
+		s.deps.Metrics.Counter(metricBenchmarkRuns).Inc()
+		s.deps.Metrics.Histogram(metricBenchmarkJobRuntime).Observe(m.row.RuntimeSeconds)
 	}
 	if _, err := s.deps.Repo.SaveBenchmarks(rows); err != nil {
 		return err
 	}
-	s.deps.Metrics.Histogram("chronus.sweep.batch_rows").Observe(float64(len(rows)))
+	s.deps.Metrics.Histogram(metricSweepBatchRows).Observe(float64(len(rows)))
 	return nil
 }
 
@@ -229,7 +229,7 @@ func (s *BenchmarkService) measureConfig(ctx context.Context, idx int, runID, sy
 		return m
 	}
 
-	_, span := s.deps.Tracer.Start(ctx, "benchmark.run")
+	_, span := s.deps.Tracer.Start(ctx, spanBenchmarkRun)
 	if span != nil {
 		span.SetAttr("config", cfg.String())
 		defer func() { span.End(m.err) }()

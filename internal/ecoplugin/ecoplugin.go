@@ -192,7 +192,7 @@ func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration
 	return p.JobSubmitCtx(context.Background(), desc, submitUID)
 }
 
-// Verdicts recorded on the eco.submit span — the per-decision
+// Verdicts recorded on the chronus.eco.submit span — the per-decision
 // attribution an operator replays with `chronus trace <job>`.
 const (
 	VerdictSkipped   = "skipped"   // the job did not opt in (or the plugin is off)
@@ -200,12 +200,28 @@ const (
 	VerdictFallback  = "fallback"  // prediction failed; job submitted unmodified
 )
 
+// Metric and span names (ecolint/metricname: package-level constants
+// in the chronus.* namespace). SpanSubmit is exported because
+// cmd/ecosim filters the decision trace by it.
+const (
+	SpanSubmit = "chronus.eco.submit"
+
+	metricSubmissions      = "chronus.eco.plugin.submissions"
+	metricPredictLatency   = "chronus.eco.plugin.predict_latency"
+	metricRewritten        = "chronus.eco.plugin.rewritten"
+	metricFallback         = "chronus.eco.plugin.fallback"
+	metricBudgetViolations = "chronus.eco.plugin.budget_violations"
+	// metricSourcePrefix is completed with the PredictSource value —
+	// the sanctioned dynamic-name form (constant prefix + expression).
+	metricSourcePrefix = "chronus.eco.plugin.source."
+)
+
 // JobSubmitCtx implements slurm.CtxSubmitPlugin: the traced submit
 // path. The span opened here is the parent of the whole prediction
 // (predict → cache|load → optimize), so one trace covers the full
 // decision.
 func (p *Plugin) JobSubmitCtx(ctx context.Context, desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
-	ctx, span := p.tracer.Start(ctx, "eco.submit")
+	ctx, span := p.tracer.Start(ctx, SpanSubmit)
 	lat, err := p.jobSubmit(ctx, desc, span)
 	if span != nil {
 		span.SetAttr("sim_latency", lat.String())
@@ -216,7 +232,7 @@ func (p *Plugin) JobSubmitCtx(ctx context.Context, desc *slurm.JobDesc, submitUI
 
 func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace.Span) (time.Duration, error) {
 	p.Submissions++
-	p.metrics.Counter("eco.plugin.submissions").Inc()
+	p.metrics.Counter(metricSubmissions).Inc()
 
 	st, err := p.settings.Load()
 	if err != nil {
@@ -252,7 +268,7 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 	}
 	res, err := p.predictor.Predict(ctx, req)
 	total := hashLatency + res.Latency
-	p.metrics.Histogram("eco.plugin.predict_latency").ObserveDuration(res.Latency)
+	p.metrics.Histogram(metricPredictLatency).ObserveDuration(res.Latency)
 	if err != nil {
 		return total, p.fallBack(span, err)
 	}
@@ -263,8 +279,8 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 	desc.MinFreqKHz = res.Config.FreqKHz
 	desc.MaxFreqKHz = res.Config.FreqKHz
 	p.Rewritten++
-	p.metrics.Counter("eco.plugin.rewritten").Inc()
-	p.metrics.Counter("eco.plugin.source." + string(res.Source)).Inc()
+	p.metrics.Counter(metricRewritten).Inc()
+	p.metrics.Counter(metricSourcePrefix + string(res.Source)).Inc()
 	p.LastErr = nil
 	if span != nil {
 		span.SetAttr("verdict", VerdictRewritten)
@@ -281,9 +297,9 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 func (p *Plugin) fallBack(span *trace.Span, err error) error {
 	p.LastErr = err
 	p.Fallbacks++
-	p.metrics.Counter("eco.plugin.fallback").Inc()
+	p.metrics.Counter(metricFallback).Inc()
 	if errors.Is(err, ErrBudgetExceeded) {
-		p.metrics.Counter("eco.plugin.budget_violations").Inc()
+		p.metrics.Counter(metricBudgetViolations).Inc()
 	}
 	if span != nil {
 		span.SetAttr("verdict", VerdictFallback)

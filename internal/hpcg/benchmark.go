@@ -40,6 +40,11 @@ type BenchmarkOptions struct {
 	IterationsPerSet int           // official default 50
 	Workers          int
 	ParallelSymGS    bool
+
+	// Clock supplies all timestamps (setup time, the timed-phase loop,
+	// the GFLOP/s rating). nil falls back to the wall clock;
+	// deterministic callers must inject one.
+	Clock func() time.Time
 }
 
 // RunBenchmark executes the full benchmark procedure on a fresh
@@ -56,12 +61,13 @@ func RunBenchmark(opts BenchmarkOptions) (BenchmarkReport, error) {
 	rep.Nx, rep.Ny, rep.Nz = opts.Nx, opts.Ny, opts.Nz
 	rep.IterationsPerSet = opts.IterationsPerSet
 
-	setupStart := time.Now()
+	now := clockOrWall(opts.Clock)
+	setupStart := now()
 	p, err := NewProblem(opts.Nx, opts.Ny, opts.Nz)
 	if err != nil {
 		return rep, err
 	}
-	rep.SetupTime = time.Since(setupStart)
+	rep.SetupTime = now().Sub(setupStart)
 	rep.Levels = p.Levels()
 
 	// Verification phase.
@@ -74,9 +80,10 @@ func RunBenchmark(opts BenchmarkOptions) (BenchmarkReport, error) {
 		Workers:        opts.Workers,
 		Preconditioned: true,
 		ParallelSymGS:  opts.ParallelSymGS,
+		Clock:          opts.Clock,
 	}
-	timedStart := time.Now()
-	for rep.Sets == 0 || time.Since(timedStart) < opts.TargetTime {
+	timedStart := now()
+	for rep.Sets == 0 || now().Sub(timedStart) < opts.TargetTime {
 		res, _, err := p.RunCG(cgOpts)
 		if err != nil {
 			return rep, err
@@ -85,7 +92,7 @@ func RunBenchmark(opts BenchmarkOptions) (BenchmarkReport, error) {
 		rep.TotalFLOPs += res.FLOPs
 		rep.ResidualReductions = append(rep.ResidualReductions, res.ResidualReduction())
 	}
-	rep.TimedDuration = time.Since(timedStart)
+	rep.TimedDuration = now().Sub(timedStart)
 	if secs := rep.TimedDuration.Seconds(); secs > 0 {
 		rep.GFLOPS = float64(rep.TotalFLOPs) / secs / 1e9
 	}

@@ -136,3 +136,47 @@ func TestMemoryEstimates(t *testing.T) {
 		t.Fatalf("estimated run footprint %.1f GB, paper reports 32 GB", gb)
 	}
 }
+
+// TestRunBenchmarkInjectedClock pins the timing side of the report to
+// an injected clock: with a 250 ms tick and a 1 s target, the call
+// sequence (setup start/stop, timed start, per-set CG start/stop, loop
+// checks, timed stop) is fully determined, so the report's durations
+// and set count must come out identical on every run.
+func TestRunBenchmarkInjectedClock(t *testing.T) {
+	fakeClock := func() func() time.Time {
+		t0 := time.Unix(1700000000, 0)
+		n := 0
+		return func() time.Time {
+			ts := t0.Add(time.Duration(n) * 250 * time.Millisecond)
+			n++
+			return ts
+		}
+	}
+	run := func() BenchmarkReport {
+		rep, err := RunBenchmark(BenchmarkOptions{
+			Nx: 12, Ny: 12, Nz: 12,
+			TargetTime:       time.Second,
+			IterationsPerSet: 5,
+			Clock:            fakeClock(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.Sets != 2 {
+		t.Fatalf("Sets = %d, want 2 (deterministic with the fake clock)", rep.Sets)
+	}
+	if rep.SetupTime != 250*time.Millisecond {
+		t.Fatalf("SetupTime = %v, want 250ms", rep.SetupTime)
+	}
+	if rep.TimedDuration != 1750*time.Millisecond {
+		t.Fatalf("TimedDuration = %v, want 1.75s", rep.TimedDuration)
+	}
+	rep2 := run()
+	if rep2.Sets != rep.Sets || rep2.SetupTime != rep.SetupTime ||
+		rep2.TimedDuration != rep.TimedDuration || rep2.GFLOPS != rep.GFLOPS {
+		t.Fatalf("injected-clock runs differ:\n%+v\n%+v", rep, rep2)
+	}
+}

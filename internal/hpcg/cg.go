@@ -12,6 +12,11 @@ type Options struct {
 	Workers        int     // goroutines per kernel; ≤1 = serial
 	Preconditioned bool    // apply the multigrid/SymGS preconditioner
 	ParallelSymGS  bool    // use the 8-colour smoother instead of serial
+
+	// Clock supplies the timestamps for Result.Elapsed/GFLOPS. nil
+	// falls back to the wall clock; deterministic callers (tests, the
+	// simulator) must inject one.
+	Clock func() time.Time
 }
 
 // DefaultOptions mirrors the reference setup: 50 preconditioned
@@ -69,7 +74,8 @@ func (prob *Problem) RunCG(opts Options) (Result, []float64, error) {
 	}
 
 	var flops int64
-	start := time.Now()
+	now := clockOrWall(opts.Clock)
+	start := now()
 	w := opts.Workers
 
 	// r = b − A·x (x = 0 ⇒ r = b, but compute it the reference way).
@@ -124,7 +130,7 @@ func (prob *Problem) RunCG(opts Options) (Result, []float64, error) {
 
 	res.FinalResidual = normr
 	res.FLOPs = flops
-	res.Elapsed = time.Since(start)
+	res.Elapsed = now().Sub(start)
 	if secs := res.Elapsed.Seconds(); secs > 0 {
 		res.GFLOPS = float64(flops) / secs / 1e9
 	}

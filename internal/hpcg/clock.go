@@ -1,0 +1,21 @@
+package hpcg
+
+import "time"
+
+// wallClock is the fallback for callers that leave Clock nil — the
+// cmd/hpcgrun binary timing real kernel runs. Library and test callers
+// inject a deterministic clock instead, which keeps every Result and
+// BenchmarkReport a pure function of its inputs.
+//
+//lint:ignore ecolint/nodeterminism the one sanctioned wall-clock fallback; deterministic callers inject Options.Clock
+func wallClock() time.Time {
+	return time.Now()
+}
+
+// clockOrWall resolves an injected clock, falling back to the wall.
+func clockOrWall(clock func() time.Time) func() time.Time {
+	if clock != nil {
+		return clock
+	}
+	return wallClock
+}

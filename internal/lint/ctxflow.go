@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow requires that a function which accepts a context.Context
+// passes that context (or one derived from it) to module-internal
+// callees rather than minting a fresh context.Background() or
+// context.TODO(). Span parenting rides the context (trace.Start stores
+// the current span in it), so a Background() in the middle of a traced
+// call chain silently detaches every child span into its own trace —
+// exactly the regression PR 2's end-to-end tracing exists to prevent.
+var CtxFlow = &Analyzer{
+	Name: ctxFlowName,
+	Doc:  "functions accepting a context must pass it through to module-internal callees, not context.Background()/TODO()",
+	Run:  runCtxFlow,
+}
+
+const ctxFlowName = "ctxflow"
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || FuncSuppressed(fd, ctxFlowName) {
+				continue
+			}
+			if !acceptsContext(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					inner, ok := arg.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					name := contextConstructor(pass, inner)
+					if name == "" {
+						continue
+					}
+					if !isModuleLocalCall(pass, call) {
+						continue
+					}
+					pass.Reportf(arg.Pos(), "%s accepts a context.Context but passes context.%s to %s — pass the caller's context through so trace spans stay parented",
+						fd.Name.Name, name, calleeLabel(pass, call))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// acceptsContext reports whether fd has a parameter of type
+// context.Context.
+func acceptsContext(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// contextConstructor returns "Background" or "TODO" when call is a
+// direct invocation of that context constructor, else "".
+func contextConstructor(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isModuleLocalCall reports whether the callee is declared in one of
+// the loaded (module) packages. Standard-library and unresolvable
+// callees are exempt: handing context.Background() to an external API
+// can be a deliberate detachment, but inside the module the context
+// chain is ours to keep intact.
+func isModuleLocalCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		// Calls through function-typed values (fields, parameters) are
+		// resolvable to a type but not a declaration; treat function
+		// values of module-local named types as local, everything else
+		// as external.
+		return false
+	}
+	return fn.Pkg() != nil && pass.Prog.isLocalPkg(fn.Pkg().Path())
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeLabel names the callee for diagnostics.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return shortFuncName(qualifiedName(fn))
+	}
+	return "a callee"
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxFlow(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{CtxFlow}, "ctxflow", "ctxpkg")
+}

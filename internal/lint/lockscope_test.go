@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockScope(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{LockScope}, "lockscope", "metrics", "other")
+}

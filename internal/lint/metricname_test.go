@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMetricName(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{MetricName}, "metricname", "metrics", "trace", "app")
+}

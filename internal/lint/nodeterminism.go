@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages lists the packages (matched by import-path
+// suffix) whose behaviour must be a pure function of their inputs: the
+// parallel sweep's byte-identical-results guarantee (DESIGN.md §7) and
+// the simulated timeline both break the moment one of them reads a
+// wall clock or the global RNG. Clocks are injected (core.Deps.Now,
+// simclock.Sim, trace.WithClock) and randomness is seeded per
+// component (simclock/rand.go, ml forest seeds).
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/ml",
+	"internal/optimizer",
+	"internal/simclock",
+	"internal/hpcg",
+	"internal/perfmodel",
+	"internal/slurm",
+	"internal/telemetry",
+	"internal/ipmi",
+	"internal/hw",
+	"internal/energymarket",
+}
+
+// forbiddenTimeFuncs are the package time functions that read or wait
+// on the wall clock. time.Since/Until are time.Now in disguise.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"After":     "blocks on the wall clock",
+	"Tick":      "ticks on the wall clock",
+	"NewTimer":  "ticks on the wall clock",
+	"NewTicker": "ticks on the wall clock",
+	"AfterFunc": "ticks on the wall clock",
+}
+
+// forbiddenRandFuncs are the math/rand (and v2) package-level
+// functions backed by the process-global generator. rand.New with an
+// explicit seeded source stays legal — that is the injected pattern.
+var forbiddenRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Int32": true, "Int32N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint64N": true, "Uint32N": true, "UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// NoDeterminism forbids wall-clock and global-RNG access in the
+// deterministic packages.
+var NoDeterminism = &Analyzer{
+	Name: noDeterminismName,
+	Doc:  "forbid time.Now/time.Sleep/global math/rand in deterministic packages; inject clocks and RNGs instead",
+	Run:  runNoDeterminism,
+}
+
+const noDeterminismName = "nodeterminism"
+
+// isDeterministicPackage matches a package path against
+// DeterministicPackages by suffix, so both the real module packages
+// ("ecosched/internal/core") and analysistest fixtures ("core") hit.
+func isDeterministicPackage(path string) bool {
+	for _, e := range DeterministicPackages {
+		if path == e || strings.HasSuffix(path, "/"+e) || strings.HasSuffix(e, "/"+path) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !isDeterministicPackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				return !FuncSuppressed(fd, noDeterminismName)
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				// Package-level functions only: time.Time.After/Before/Sub
+				// are pure value methods, unlike the package func time.After.
+				if obj.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if why, bad := forbiddenTimeFuncs[obj.Name()]; bad {
+					pass.Reportf(sel.Pos(), "time.%s %s; %s is a deterministic package — inject a clock (core.Deps.Now, simclock.Sim, hpcg Options.Clock)",
+						obj.Name(), why, pass.Pkg.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Only package-level functions use the global source;
+				// methods on *rand.Rand are the injected pattern.
+				if obj.Type().(*types.Signature).Recv() == nil && forbiddenRandFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the process-global RNG; %s is a deterministic package — use a seeded *rand.Rand (or simclock's PRNG)",
+						obj.Pkg().Name(), obj.Name(), pass.Pkg.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+func TestNoDeterminism(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{NoDeterminism}, "nodeterminism", "core", "webui")
+}
+
+func TestNoDeterminismPositiveCount(t *testing.T) {
+	diags := Diagnostics(t, []*Analyzer{NoDeterminism}, "nodeterminism", "core", "webui")
+	if len(diags) != 5 {
+		t.Fatalf("want 5 findings in the deterministic fixture, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != noDeterminismName {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+}

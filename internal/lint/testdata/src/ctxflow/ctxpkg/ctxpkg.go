@@ -1,0 +1,44 @@
+package ctxpkg
+
+import (
+	"context"
+	"errors"
+)
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Bad mints fresh contexts mid-chain, detaching span parenting.
+func Bad(ctx context.Context) error {
+	if err := helper(context.Background()); err != nil { // want `Bad accepts a context\.Context but passes context\.Background`
+		return err
+	}
+	return helper(context.TODO()) // want `Bad accepts a context\.Context but passes context\.TODO`
+}
+
+// Good passes the caller's context (or a derivation of it) through.
+func Good(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return helper(ctx)
+}
+
+// NoCtx has no context parameter, so constructing one is the only
+// option and is allowed.
+func NoCtx() error {
+	return helper(context.Background())
+}
+
+// External callees are exempt: detaching before handing a context to a
+// non-module API can be deliberate.
+func Detach(ctx context.Context) error {
+	_, cancel := context.WithCancel(context.Background())
+	cancel()
+	return errors.New("detached")
+}
+
+// Escape demonstrates the suppression directive.
+//
+//lint:ignore ecolint/ctxflow fire-and-forget audit must outlive the request
+func Escape(ctx context.Context) error {
+	return helper(context.Background())
+}

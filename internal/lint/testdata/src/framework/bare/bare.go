@@ -1,0 +1,9 @@
+package bare
+
+// Plain code; the only finding here should be the reasonless directive
+// below, reported by the framework itself.
+
+//lint:ignore ecolint/nodeterminism
+func Bad() int {
+	return 42
+}

@@ -1,0 +1,7 @@
+package blob
+
+// Store mirrors ecosched/internal/blob.Store: an integration interface
+// whose methods do I/O by contract, denied on the hot path by name.
+type Store interface {
+	Fetch(key string) ([]byte, error)
+}

@@ -1,0 +1,64 @@
+package hotpath
+
+import (
+	"context"
+	"os"
+	"sort"
+
+	"blob"
+)
+
+// PredictService mirrors the real service: Predict is the traversal
+// root, load the stop-listed miss path.
+type PredictService struct {
+	cache map[string][]byte
+	store blob.Store
+}
+
+func (s *PredictService) Predict(ctx context.Context, key string) ([]byte, error) {
+	if v, ok := s.cache[key]; ok {
+		s.rank(v)
+		s.audit(key)
+		s.journalAppend(v)
+		return v, nil
+	}
+	return s.load(ctx, key)
+}
+
+// audit is reachable on the cache-hit path, so both its direct I/O and
+// its denied-interface call are violations.
+func (s *PredictService) audit(key string) {
+	f, err := os.Create("/tmp/audit") // want `performs I/O: os\.Create`
+	if err == nil {
+		f.Close() // want `performs I/O: \(\*os\.File\)\.Close`
+	}
+	_, _ = s.store.Fetch(key) // want `calls I/O interface blob\.Store\.Fetch`
+}
+
+// rank is pure compute: reachable, but clean.
+func (s *PredictService) rank(v []byte) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}
+
+// load is the stop-listed miss path; its I/O is budget-gated at
+// runtime, so the traversal does not descend into it.
+func (s *PredictService) load(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(key)
+}
+
+// journalAppend is opaque to the traversal via the suppression
+// directive, mirroring the real trace journal's bounded append.
+//
+//lint:ignore ecolint/hotpathio bounded append to a pre-opened descriptor
+func (s *PredictService) journalAppend(b []byte) {
+	_ = os.WriteFile("/tmp/journal", b, 0o644)
+}
+
+// Offline is not reachable from Predict: I/O here is fine.
+func (s *PredictService) Offline() error {
+	_, err := os.Create("/tmp/offline")
+	return err
+}

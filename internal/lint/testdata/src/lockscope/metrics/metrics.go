@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"os"
+	"sort"
+	"sync"
+)
+
+// Registry mirrors the real metrics registry: a mutex guarding maps,
+// with exposition and persistence around it.
+type Registry struct {
+	mu   sync.Mutex
+	vals map[string]float64
+	ch   chan string
+}
+
+// Bad does everything the analyzer forbids inside one critical
+// section.
+func (r *Registry) Bad(name string, v float64) {
+	r.mu.Lock()
+	r.vals[name] = v
+	_ = os.WriteFile("/tmp/metrics", nil, 0o644) // want `os\.WriteFile called while holding a lock`
+	r.ch <- name                                 // want `channel send while holding a lock`
+	<-r.ch                                       // want `channel receive while holding a lock`
+	r.lockedSnapshot()                           // want `acquires a lock and is called while metrics already holds one`
+	r.mu.Unlock()
+}
+
+// BadDeferred holds via defer to the end of the function.
+func (r *Registry) BadDeferred(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want `select while holding a lock`
+	case r.ch <- name:
+	default:
+	}
+}
+
+// Good copies under the lock and does the slow work outside — the
+// pattern the analyzer exists to enforce.
+func (r *Registry) Good(name string, v float64) {
+	r.mu.Lock()
+	r.vals[name] = v
+	keys := make([]string, 0, len(r.vals))
+	for k := range r.vals {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+	_ = os.WriteFile("/tmp/metrics", []byte(keys[0]), 0o644)
+	r.ch <- name
+}
+
+// lockedSnapshot acquires the lock itself, which is what makes the
+// call from Bad a nested-critical-section violation.
+func (r *Registry) lockedSnapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Flush demonstrates the suppression directive for a sanctioned
+// hold-and-write (the journal pattern).
+//
+//lint:ignore ecolint/lockscope serialized append log writes under its own mutex by design
+func (r *Registry) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = os.WriteFile("/tmp/metrics", nil, 0o644)
+}

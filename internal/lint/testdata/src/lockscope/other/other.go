@@ -1,0 +1,18 @@
+package other
+
+import (
+	"os"
+	"sync"
+)
+
+// Holder is outside internal/metrics and internal/trace, so lockscope
+// does not apply even though it writes under a mutex.
+type Holder struct {
+	mu sync.Mutex
+}
+
+func (h *Holder) Write() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_ = os.WriteFile("/tmp/other", nil, 0o644)
+}

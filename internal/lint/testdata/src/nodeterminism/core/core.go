@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads wall clocks and the global RNG every way the analyzer
+// forbids.
+func Bad() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+	_ = rand.Intn(10)  // want `rand\.Intn draws from the process-global RNG`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global RNG`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// Good uses the injected patterns: a clock function and a seeded
+// generator. time.Time value methods (After, Sub) are pure and legal —
+// only the package functions read the wall clock.
+func Good(now func() time.Time, seed int64) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Intn(10)
+	start := now()
+	if now().After(start.Add(time.Second)) {
+		return 0
+	}
+	return now().Sub(start)
+}
+
+// Waiter demonstrates the suppression escape hatch.
+//
+//lint:ignore ecolint/nodeterminism integration shim, exercised only from cmd wiring
+func Waiter() {
+	time.Sleep(time.Millisecond)
+}
+
+// Durations of constants are fine; only the clock readers are flagged.
+func Pure() time.Duration {
+	return 5 * time.Second
+}

@@ -1,0 +1,9 @@
+package webui
+
+import "time"
+
+// Stamp may read the wall clock freely: webui is not one of the
+// deterministic packages.
+func Stamp() time.Time {
+	return time.Now()
+}

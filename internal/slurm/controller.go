@@ -14,6 +14,23 @@ import (
 	"ecosched/internal/trace"
 )
 
+// Metric, span, and event names (ecolint/metricname: package-level
+// constants in the chronus.* namespace).
+const (
+	spanSubmit    = "chronus.slurm.submit"
+	spanSchedule  = "chronus.slurm.schedule"
+	eventJobStart = "chronus.job.start"
+	eventJobEnd   = "chronus.job.end"
+
+	metricJobsSubmitted  = "chronus.slurm.jobs.submitted"
+	metricJobsRejected   = "chronus.slurm.jobs.rejected"
+	metricJobsCompleted  = "chronus.slurm.jobs.completed"
+	metricJobsFailed     = "chronus.slurm.jobs.failed"
+	metricJobsCancelled  = "chronus.slurm.jobs.cancelled"
+	metricBudgetOverruns = "chronus.slurm.plugin.budget_overruns"
+	metricChainLatency   = "chronus.slurm.plugin.chain_latency"
+)
+
 // Workload models what a job's executable does on a node: how long it
 // runs in a given configuration and at what sustained throughput. The
 // controller resolves workloads by the job's binary path.
@@ -222,7 +239,7 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 // trace: plugin spans nest under it and the assigned job id lands in
 // its attributes, which is how `chronus trace <job>` finds the trace.
 func (c *Controller) submitTraced(desc JobDesc) (*Job, error) {
-	ctx, span := c.tracer.Start(context.Background(), "slurm.submit")
+	ctx, span := c.tracer.Start(context.Background(), spanSubmit)
 	job, err := c.submit(ctx, desc)
 	if span != nil {
 		if job != nil {
@@ -240,7 +257,7 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 	if desc.IsArray() {
 		return nil, fmt.Errorf("slurm: array description submitted directly; use SubmitArray")
 	}
-	c.metrics.Counter("slurm.jobs.submitted").Inc()
+	c.metrics.Counter(metricJobsSubmitted).Inc()
 	plugins, err := c.activePlugins()
 	if err != nil {
 		return nil, err
@@ -256,18 +273,18 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 		}
 		pluginTime += lat
 		if err != nil {
-			c.metrics.Counter("slurm.jobs.rejected").Inc()
+			c.metrics.Counter(metricJobsRejected).Inc()
 			return nil, fmt.Errorf("slurm: plugin %s rejected job: %w", p.Name(), err)
 		}
 		if pluginTime > c.conf.PluginBudget {
-			c.metrics.Counter("slurm.jobs.rejected").Inc()
-			c.metrics.Counter("slurm.plugin.budget_overruns").Inc()
+			c.metrics.Counter(metricJobsRejected).Inc()
+			c.metrics.Counter(metricBudgetOverruns).Inc()
 			return nil, fmt.Errorf("slurm: plugin %s exceeded the submit budget (%v > %v)",
 				p.Name(), pluginTime, c.conf.PluginBudget)
 		}
 	}
 	if len(plugins) > 0 {
-		c.metrics.Histogram("slurm.plugin.chain_latency").ObserveDuration(pluginTime)
+		c.metrics.Histogram(metricChainLatency).ObserveDuration(pluginTime)
 		if s := trace.FromContext(ctx); s != nil {
 			s.SetAttr("plugin_sim_latency", pluginTime.String())
 		}
@@ -395,7 +412,7 @@ func nodeSatisfies(n *nodeD, desc JobDesc) bool {
 // schedule places pending jobs onto idle nodes in policy order.
 func (c *Controller) schedule() {
 	now := c.sim.Now()
-	_, span := c.tracer.Start(context.Background(), "slurm.schedule")
+	_, span := c.tracer.Start(context.Background(), spanSchedule)
 	if span != nil {
 		span.SetAttr("pending", strconv.Itoa(len(c.pending)))
 		defer func() { span.End(nil) }()
@@ -504,7 +521,7 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	node.current = job
 	node.hwJob = hwJob
 	if c.tracer != nil {
-		c.tracer.Event("job.start", map[string]string{
+		c.tracer.Event(eventJobStart, map[string]string{
 			trace.AttrJobID: strconv.Itoa(job.ID),
 			"node":          node.name,
 			"cores":         strconv.Itoa(hwJob.Config.Cores),
@@ -544,11 +561,11 @@ func (c *Controller) finish(job *Job) {
 	}
 	switch job.State {
 	case StateCompleted:
-		c.metrics.Counter("slurm.jobs.completed").Inc()
+		c.metrics.Counter(metricJobsCompleted).Inc()
 	case StateFailed:
-		c.metrics.Counter("slurm.jobs.failed").Inc()
+		c.metrics.Counter(metricJobsFailed).Inc()
 	case StateCancelled:
-		c.metrics.Counter("slurm.jobs.cancelled").Inc()
+		c.metrics.Counter(metricJobsCancelled).Inc()
 	}
 	if c.tracer != nil {
 		attrs := map[string]string{
@@ -562,7 +579,7 @@ func (c *Controller) finish(job *Job) {
 			attrs["system_kj"] = fmt.Sprintf("%.3f", job.SystemJ/1000)
 			attrs["cpu_kj"] = fmt.Sprintf("%.3f", job.CPUJ/1000)
 		}
-		c.tracer.Event("job.end", attrs)
+		c.tracer.Event(eventJobEnd, attrs)
 	}
 	c.acct.record(job)
 	for _, fn := range c.onDone {

@@ -54,6 +54,9 @@ func OpenJournal(path string, maxBytes int64) (*Journal, error) {
 
 // Append writes one event as a JSON line, rotating first if the line
 // would exceed the size cap.
+//
+//lint:ignore ecolint/lockscope the journal IS the I/O sink; the write must be serialized with rotation under j.mu
+//lint:ignore ecolint/hotpathio journal appends are bounded single-line writes; hot-path tracing is opt-in via WithJournal
 func (j *Journal) Append(e Event) error {
 	if j == nil {
 		return nil
@@ -98,6 +101,8 @@ func (j *Journal) rotateLocked() error {
 }
 
 // Sync flushes the journal to stable storage.
+//
+//lint:ignore ecolint/lockscope fsync must see a quiescent file; holding j.mu is the point
 func (j *Journal) Sync() error {
 	if j == nil {
 		return nil
@@ -111,6 +116,8 @@ func (j *Journal) Sync() error {
 }
 
 // Close syncs and closes the journal. Further appends fail.
+//
+//lint:ignore ecolint/lockscope close races with concurrent appends unless serialized under j.mu
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil

@@ -178,7 +178,7 @@ func TestBudgetOverrunSubmitsUnmodified(t *testing.T) {
 		t.Fatalf("LastErr = %v, want ErrBudgetExceeded", d.Plugin.LastErr)
 	}
 	snap := d.Metrics.Snapshot()
-	for _, name := range []string{"eco.plugin.fallback", "eco.plugin.budget_violations", "chronus.predict.budget_violations"} {
+	for _, name := range []string{"chronus.eco.plugin.fallback", "chronus.eco.plugin.budget_violations", "chronus.predict.budget_violations"} {
 		if snap.Counters[name] == 0 {
 			t.Fatalf("counter %s = 0 after a budget overrun", name)
 		}
@@ -320,10 +320,10 @@ func TestControllerMetrics(t *testing.T) {
 	}
 	snap := d.Metrics.Snapshot()
 	// The benchmark sweep itself submits jobs, so submitted >> 1.
-	if snap.Counters["slurm.jobs.submitted"] == 0 || snap.Counters["slurm.jobs.completed"] == 0 {
+	if snap.Counters["chronus.slurm.jobs.submitted"] == 0 || snap.Counters["chronus.slurm.jobs.completed"] == 0 {
 		t.Fatalf("controller counters empty: %+v", snap.Counters)
 	}
-	if snap.Histograms["slurm.plugin.chain_latency"].Count == 0 {
+	if snap.Histograms["chronus.slurm.plugin.chain_latency"].Count == 0 {
 		t.Fatal("plugin chain latency histogram empty")
 	}
 }

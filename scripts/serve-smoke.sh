@@ -8,7 +8,9 @@ workdir=$(mktemp -d)
 logfile="$workdir/serve.log"
 pid=""
 cleanup() {
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+    fi
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM

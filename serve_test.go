@@ -90,7 +90,7 @@ func TestServeTraceJSON(t *testing.T) {
 		names = append(names, e.Name)
 	}
 	joined := strings.Join(names, " ")
-	for _, want := range []string{"slurm.submit", "eco.submit", "chronus.predict"} {
+	for _, want := range []string{"chronus.slurm.submit", "chronus.eco.submit", "chronus.predict"} {
 		if !strings.Contains(joined, want) {
 			t.Fatalf("/trace lacks %q span: %v", want, names)
 		}
@@ -143,10 +143,10 @@ func TestServeTraceJournalFallback(t *testing.T) {
 	}
 	var sawBenchmark bool
 	for _, e := range events {
-		sawBenchmark = sawBenchmark || e.Name == "benchmark.run"
+		sawBenchmark = sawBenchmark || e.Name == "chronus.benchmark.run"
 	}
 	if !sawBenchmark {
-		t.Fatalf("/trace journal fallback lacks benchmark.run: %d events", len(events))
+		t.Fatalf("/trace journal fallback lacks chronus.benchmark.run: %d events", len(events))
 	}
 }
 
