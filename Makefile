@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json serve-smoke clean
+.PHONY: all build vet lint test race chaos fuzz cover bench bench-json serve-smoke clean
 
 all: vet lint test
 
@@ -24,6 +24,22 @@ test: build
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection suite under the race detector; the CI
+# chaos job repeats it for three fixed seeds (CHAOS_SEED drives the
+# random-schedule property test).
+CHAOS_SEED ?= 1
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'Chaos|Fault|Fuzz' ./...
+
+# fuzz gives each filedb fuzzer a short budget beyond the committed
+# corpus (which plain `go test` always replays).
+fuzz:
+	$(GO) test -fuzz FuzzTornTail -fuzztime 30s -run FuzzTornTail ./internal/filedb/
+	$(GO) test -fuzz FuzzReplay -fuzztime 30s -run FuzzReplay ./internal/filedb/
+
+cover:
+	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...

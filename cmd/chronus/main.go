@@ -47,6 +47,8 @@ func run(args []string) error {
 	global := flag.NewFlagSet("chronus", flag.ContinueOnError)
 	dataDir := global.String("data", "./chronus-data", "state directory (database, blobs, settings)")
 	parallelism := global.Int("parallelism", 0, "benchmark sweep worker count (0 = GOMAXPROCS); results are identical at any setting")
+	faultSpec := global.String("fault", "", `fault-injection schedule for chaos reproduction, e.g. "blob.get:error:0.3;repo.*:latency:lat=5ms" (see internal/fault)`)
+	faultSeed := global.Uint64("fault-seed", 0, "seed for the fault injector's deterministic schedule (0 = the simulation seed)")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
@@ -69,8 +71,21 @@ func run(args []string) error {
 
 	// Every stateful command traces into DataDir/events.jsonl, so a
 	// later `chronus trace <job>` can replay its decisions.
-	d, err := ecosched.New(*dataDir, ecosched.WithLogWriter(os.Stdout), ecosched.WithTracing(),
-		ecosched.WithParallelism(*parallelism))
+	buildOpts := []ecosched.Option{
+		ecosched.WithLogWriter(os.Stdout), ecosched.WithTracing(),
+		ecosched.WithParallelism(*parallelism),
+	}
+	if *faultSpec != "" {
+		// A chaos run: inject the schedule and arm the retry policy the
+		// degraded-mode design pairs with it.
+		buildOpts = append(buildOpts,
+			ecosched.WithFault(*faultSpec),
+			ecosched.WithRetryPolicy(core.DefaultRetryPolicy()))
+	}
+	if *faultSeed != 0 {
+		buildOpts = append(buildOpts, ecosched.WithFaultSeed(*faultSeed))
+	}
+	d, err := ecosched.New(*dataDir, buildOpts...)
 	if err != nil {
 		return err
 	}

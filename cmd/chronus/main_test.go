@@ -1,6 +1,8 @@
 package main
 
 import (
+	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -123,4 +125,93 @@ func TestCLIBenchmarkResume(t *testing.T) {
 	if err := run([]string{"-data", data, "benchmark", "-quick", "-resume"}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// updateGolden regenerates the testdata golden files:
+//
+//	go test ./cmd/chronus -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns what it printed. run() writes command output to os.Stdout
+// directly, so golden tests intercept it here.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+// goldenData copies the handcrafted journal into a fresh data dir.
+func goldenData(t *testing.T) string {
+	t.Helper()
+	data := t.TempDir()
+	journal, err := os.ReadFile(filepath.Join("testdata", "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(data, "events.jsonl"), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s mismatch (run with -update-golden to regenerate):\n--- want ---\n%s--- got ---\n%s", name, want, got)
+	}
+}
+
+// TestCLITraceGolden pins the `chronus trace <job>` rendering: the
+// indented span tree with durations, sorted attributes and quoted
+// errors, for both a rewritten and a fallback submission.
+func TestCLITraceGolden(t *testing.T) {
+	data := goldenData(t)
+	for job, golden := range map[string]string{
+		"7": "trace_7.golden",
+		"8": "trace_8.golden",
+	} {
+		out := captureStdout(t, func() error {
+			return run([]string{"-data", data, "trace", job})
+		})
+		checkGolden(t, golden, out)
+	}
+}
+
+// TestCLIEventsGolden pins the `chronus events` rendering: one line
+// per journal event, RFC3339Nano UTC timestamps, kind, padded name,
+// trace id, duration and attributes.
+func TestCLIEventsGolden(t *testing.T) {
+	data := goldenData(t)
+	out := captureStdout(t, func() error {
+		return run([]string{"-data", data, "events"})
+	})
+	checkGolden(t, "events.golden", out)
 }

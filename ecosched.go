@@ -38,6 +38,7 @@ import (
 	"ecosched/internal/blob"
 	"ecosched/internal/core"
 	"ecosched/internal/ecoplugin"
+	"ecosched/internal/fault"
 	"ecosched/internal/hw"
 	"ecosched/internal/ipmi"
 	"ecosched/internal/metrics"
@@ -119,6 +120,18 @@ type Options struct {
 	// Results (rows, ids, winner) are identical at every setting; only
 	// wall-clock time changes.
 	Parallelism int
+	// FaultSpec is a fault.ParsePlan schedule (the CLI's -fault flag,
+	// e.g. "blob.get:error:0.3;repo.*:latency:lat=5ms") activated from
+	// construction on. Empty injects nothing; the injector is still
+	// wired, so tests can add rules at runtime through Deployment.Fault.
+	FaultSpec string
+	// FaultSeed seeds the fault injector's deterministic schedule
+	// (default Seed), so a chaos run reproduces from its seed alone.
+	FaultSeed uint64
+	// Retry tunes Chronus's bounded retry-with-backoff on transient
+	// load stages (core.DefaultRetryPolicy is the chaos tuning). The
+	// zero value disables retrying.
+	Retry core.RetryPolicy
 }
 
 // Option mutates Options — the functional configuration of New.
@@ -163,6 +176,18 @@ func WithTracer(t *trace.Tracer) Option { return func(o *Options) { o.Tracer = t
 // WithParallelism sets the benchmark sweep's worker-pool width.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
+// WithFault activates a fault-injection schedule (fault.ParsePlan
+// syntax) from construction on — the CLI's -fault flag.
+func WithFault(spec string) Option { return func(o *Options) { o.FaultSpec = spec } }
+
+// WithFaultSeed seeds the fault injector independently of the
+// simulation seed.
+func WithFaultSeed(seed uint64) Option { return func(o *Options) { o.FaultSeed = seed } }
+
+// WithRetryPolicy enables bounded retry-with-backoff on Chronus's
+// transient load stages.
+func WithRetryPolicy(p core.RetryPolicy) Option { return func(o *Options) { o.Retry = p } }
+
 // Deployment is a wired, running simulated installation.
 type Deployment struct {
 	Sim      *simclock.Sim
@@ -184,6 +209,12 @@ type Deployment struct {
 	// tracing was enabled). Completed spans land in its in-memory ring
 	// and, via the journal, in DataDir/events.jsonl.
 	Tracer *trace.Tracer
+	// Fault is the deployment-wide fault injector, always wired across
+	// every storage, procfs and IPMI integration point. With no rules
+	// (the default) every operation passes through untouched; chaos
+	// tests add rules at runtime with Fault.Use, and the -fault CLI
+	// flag installs a schedule at construction.
+	Fault *fault.Injector
 
 	fs      procfs.FileReader
 	dataDir string
@@ -290,6 +321,24 @@ func buildDeployment(opts Options) (*Deployment, error) {
 	}
 	cluster.SetTracer(tracer)
 
+	// The fault injector is always wired — with no rules every decorated
+	// operation passes straight through — so chaos tests can flip faults
+	// on mid-flight (Deployment.Fault.Use) and the -fault flag can replay
+	// a schedule from its seed.
+	faultSeed := opts.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = opts.Seed
+	}
+	inj := fault.New(faultSeed, fault.WithClock(sim.Now), fault.WithMetrics(reg), fault.WithTracer(tracer))
+	if opts.FaultSpec != "" {
+		rules, err := fault.ParsePlan(opts.FaultSpec)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		inj.Use(rules...)
+	}
+
 	var repo repository.Repository
 	switch opts.Repository {
 	case RepoFileDB:
@@ -303,14 +352,18 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		return nil, err
 	}
 	closers = append(closers, repo.Close)
+	// The decorators consult the injector before every operation; the
+	// closers above keep the raw handles, so teardown is never faulted.
+	repo = fault.Repository(repo, inj)
 
-	blobStore, err := blob.NewDir(filepath.Join(opts.DataDir, "blobs"))
+	rawBlob, err := blob.NewDir(filepath.Join(opts.DataDir, "blobs"))
 	if err != nil {
 		cleanup()
 		return nil, err
 	}
-	settingsStore := settings.NewEtcStore(filepath.Join(opts.DataDir, "etc", "chronus", "settings.json"))
-	initial, err := settingsStore.Load()
+	blobStore := fault.Blob(rawBlob, inj)
+	rawSettings := settings.NewEtcStore(filepath.Join(opts.DataDir, "etc", "chronus", "settings.json"))
+	initial, err := rawSettings.Load()
 	if err != nil {
 		cleanup()
 		return nil, err
@@ -318,18 +371,20 @@ func buildDeployment(opts Options) (*Deployment, error) {
 	initial.State = opts.PluginState
 	initial.DatabasePath = filepath.Join(opts.DataDir, "database")
 	initial.BlobStoragePath = filepath.Join(opts.DataDir, "blobs")
-	if err := settingsStore.Save(initial); err != nil {
+	if err := rawSettings.Save(initial); err != nil {
 		cleanup()
 		return nil, err
 	}
+	settingsStore := fault.Settings(rawSettings, inj)
 
 	headNode := nodes[0]
-	fs := procfs.New(headNode)
-	system, err := core.NewIPMISystemService(sim, bmcs[0], headNode, false)
+	fs := fault.FileReader(procfs.New(headNode), inj)
+	rawSystem, err := core.NewIPMISystemService(sim, bmcs[0], headNode, false)
 	if err != nil {
 		cleanup()
 		return nil, err
 	}
+	var system core.SystemService = fault.System(rawSystem, inj)
 	runner, err := core.NewHPCGRunner(cluster, opts.HPCGPath, calib.JobGFLOP)
 	if err != nil {
 		cleanup()
@@ -361,7 +416,7 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		if err != nil {
 			return core.BenchNode{}, err
 		}
-		return core.BenchNode{Cluster: bcluster, System: bsystem}, nil
+		return core.BenchNode{Cluster: bcluster, System: fault.System(bsystem, inj)}, nil
 	}
 
 	chronus, err := core.New(core.Deps{
@@ -377,6 +432,8 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		LogW:     opts.LogW,
 		Metrics:  reg,
 		Tracer:   tracer,
+		Retry:    retryPolicy(opts),
+		ReadFile: fault.ReadFile(os.ReadFile, inj),
 
 		Provision:   provision,
 		Parallelism: opts.Parallelism,
@@ -399,14 +456,25 @@ func buildDeployment(opts Options) (*Deployment, error) {
 		Sim: sim, Cluster: cluster, Nodes: nodes, BMCs: bmcs,
 		Chronus: chronus, Plugin: plugin,
 		Repo: repo, Blob: blobStore, Settings: settingsStore,
-		HPCGPath: opts.HPCGPath, Metrics: reg, Tracer: tracer,
+		HPCGPath: opts.HPCGPath, Metrics: reg, Tracer: tracer, Fault: inj,
 		fs: fs, dataDir: opts.DataDir,
 	}
-	// Persist metrics last-registered so Close flushes them before the
-	// stores go away.
-	closers = append(closers, d.persistMetrics)
+	// Registered last → run first on Close: drain in-flight predictions
+	// (and the retry backoffs inside them) before anything persists or
+	// closes, then flush metrics while the stores are still alive.
+	closers = append(closers, d.persistMetrics, func() error { chronus.Drain(); return nil })
 	d.closers = closers
 	return d, nil
+}
+
+// retryPolicy resolves the deployment's retry policy, defaulting its
+// jitter seed to the simulation seed so one seed reproduces the run.
+func retryPolicy(opts Options) core.RetryPolicy {
+	p := opts.Retry
+	if p.Seed == 0 {
+		p.Seed = opts.Seed
+	}
+	return p
 }
 
 // Close tears down everything the deployment acquired, in reverse

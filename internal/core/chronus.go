@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"sync"
 	"time"
 
 	"ecosched/internal/blob"
@@ -71,6 +72,19 @@ type Deps struct {
 	// trace type is nil-safe, so the hot path carries no overhead).
 	Tracer *trace.Tracer
 
+	// Retry tunes bounded retry-with-backoff on the transient load
+	// stages (settings load, model read, db query, blob fetch). The
+	// zero value disables retrying — the seed behavior.
+	Retry RetryPolicy
+	// Sleep is the backoff hook; nil skips the wait (simulated
+	// deployments advance no real time during backoff, and internal/core
+	// is a deterministic package — time.Sleep is lint-forbidden here).
+	Sleep func(time.Duration)
+	// ReadFile reads pre-loaded model files; nil means os.ReadFile.
+	// The composition root swaps in a fault-injecting reader so chaos
+	// runs can tear model reads without touching the real disk.
+	ReadFile func(string) ([]byte, error)
+
 	// Provision, when non-nil, turns the benchmark sweep into a
 	// worker-pool fan-out: each configuration is measured on its own
 	// independently provisioned node stack (see sweep.go). Nil keeps
@@ -108,15 +122,58 @@ func (d Deps) validate() error {
 // Chronus bundles the five services behind one handle, the way the
 // CLI's five commands map onto them.
 type Chronus struct {
-	deps  Deps
-	log   *log.Logger
-	cache *modelCache
+	deps     Deps
+	log      *log.Logger
+	cache    *modelCache
+	inflight *inflight
 
 	Benchmark *BenchmarkService
 	InitModel *InitModelService
 	LoadModel *LoadModelService
 	Predict   *PredictService
 	Set       *SetService
+}
+
+// Drain blocks until every in-flight prediction — including any
+// backoff retries it is sleeping through — has returned. Deployment
+// teardown calls this first, so closing the repository never races a
+// retry loop that would otherwise keep poking a half-closed store.
+func (c *Chronus) Drain() { c.inflight.drain() }
+
+// inflight counts active predictions so teardown can wait them out.
+type inflight struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func newInflight() *inflight {
+	i := &inflight{}
+	i.cond = sync.NewCond(&i.mu)
+	return i
+}
+
+func (i *inflight) enter() {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+func (i *inflight) exit() {
+	i.mu.Lock()
+	i.n--
+	if i.n == 0 {
+		i.cond.Broadcast()
+	}
+	i.mu.Unlock()
+}
+
+func (i *inflight) drain() {
+	i.mu.Lock()
+	for i.n > 0 {
+		i.cond.Wait()
+	}
+	i.mu.Unlock()
 }
 
 // New validates the wiring and constructs the service bundle.
@@ -137,11 +194,11 @@ func newWithCache(deps Deps, cache *modelCache) (*Chronus, error) {
 		w = io.Discard
 	}
 	logger := log.New(w, "chronus ", 0)
-	c := &Chronus{deps: deps, log: logger, cache: cache}
+	c := &Chronus{deps: deps, log: logger, cache: cache, inflight: newInflight()}
 	c.Benchmark = &BenchmarkService{deps: deps, log: logger}
 	c.InitModel = &InitModelService{deps: deps, log: logger}
 	c.LoadModel = &LoadModelService{deps: deps, log: logger, cache: cache}
-	c.Predict = &PredictService{deps: deps, cache: cache}
+	c.Predict = &PredictService{deps: deps, cache: cache, retry: newRetrier(deps), inflight: c.inflight}
 	c.Set = &SetService{deps: deps, cache: cache}
 	return c, nil
 }

@@ -28,6 +28,14 @@ const (
 	metricBenchmarkRuns           = "chronus.benchmark.runs"
 	metricBenchmarkJobRuntime     = "chronus.benchmark.job_runtime"
 	metricModelLoads              = "chronus.model.loads"
+	// metricPredictDegraded counts fail-open degradations: predictions
+	// that errored and let the plugin submit the job unmodified. The
+	// same name doubles as the degradation trace event.
+	metricPredictDegraded = "chronus.predict.degraded"
+	eventPredictDegraded  = "chronus.predict.degraded"
+	// metricRetryPrefix + stage counts backoff retries per load stage.
+	metricRetryPrefix = "chronus.retry."
+	eventRetryBackoff = "chronus.retry.backoff"
 	metricSweepWorkers            = "chronus.sweep.workers"
 	metricSweepQueueDepth         = "chronus.sweep.queue_depth"
 	metricSweepBatchRows          = "chronus.sweep.batch_rows"

@@ -11,6 +11,8 @@ import (
 	"ecosched/internal/ecoplugin"
 	"ecosched/internal/optimizer"
 	"ecosched/internal/perfmodel"
+	"ecosched/internal/repository"
+	"ecosched/internal/settings"
 	"ecosched/internal/trace"
 )
 
@@ -39,8 +41,10 @@ const (
 // `chronus load-model` / `chronus set` invalidate the affected
 // entries.
 type PredictService struct {
-	deps  Deps
-	cache *modelCache
+	deps     Deps
+	cache    *modelCache
+	retry    *retrier
+	inflight *inflight
 	// AllowColdLoad permits falling back to the database + blob
 	// storage when no model is pre-loaded. The A2 ablation enables it
 	// to demonstrate the latency-budget violation; production keeps it
@@ -55,6 +59,10 @@ var _ ecoplugin.Predictor = (*PredictService)(nil)
 // with ecoplugin.ErrBudgetExceeded rather than burning the time — the
 // plugin then submits the job unmodified.
 func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
+	if s.inflight != nil {
+		s.inflight.enter()
+		defer s.inflight.exit()
+	}
 	ctx, span := s.deps.Tracer.Start(ctx, spanPredict)
 	res, err := s.predict(ctx, req)
 	if span != nil {
@@ -65,7 +73,24 @@ func (s *PredictService) Predict(ctx context.Context, req ecoplugin.PredictReque
 		}
 	}
 	span.End(err)
+	if err != nil {
+		s.degrade(err)
+	}
 	return res, err
+}
+
+// degrade records a fail-open degradation: the prediction errored, so
+// the plugin will submit the job unmodified. Context cancellation is
+// the caller abandoning the request, not Chronus degrading, and is not
+// counted.
+func (s *PredictService) degrade(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	s.deps.Metrics.Counter(metricPredictDegraded).Inc()
+	if s.deps.Tracer != nil {
+		s.deps.Tracer.Event(eventPredictDegraded, map[string]string{"cause": err.Error()})
+	}
 }
 
 func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictRequest) (ecoplugin.PredictResult, error) {
@@ -132,7 +157,12 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 	}()
 
 	latency := LatencyLocalRead // the settings lookup below
-	cfg, err := s.deps.Settings.Load()
+	var cfg settings.Settings
+	err = s.retry.do(ctx, stageSettingsLoad, func() error {
+		var lerr error
+		cfg, lerr = s.deps.Settings.Load()
+		return lerr
+	})
 	if err != nil {
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, err
 	}
@@ -143,7 +173,16 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 				"core: pre-loaded path needs %v of a %v budget: %w", projected, req.Budget, ecoplugin.ErrBudgetExceeded)
 		}
 		_, rs := s.deps.Tracer.Start(ctx, spanPredictReadModel)
-		data, err := os.ReadFile(local.Path)
+		read := s.deps.ReadFile
+		if read == nil {
+			read = os.ReadFile
+		}
+		var data []byte
+		err = s.retry.do(ctx, stageModelRead, func() error {
+			var rerr error
+			data, rerr = read(local.Path)
+			return rerr
+		})
 		if err != nil {
 			rs.End(err)
 			return perfmodel.Config{}, nil, latency, ecoplugin.SourcePreloaded, fmt.Errorf("core: pre-loaded model: %w", err)
@@ -177,7 +216,12 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 	if dbs != nil {
 		dbs.SetAttr("sim_latency", LatencyDBQuery.String())
 	}
-	systems, err := s.deps.Repo.ListSystems()
+	var systems []repository.System
+	err = s.retry.do(ctx, stageDBQuery, func() error {
+		var qerr error
+		systems, qerr = s.deps.Repo.ListSystems()
+		return qerr
+	})
 	if err != nil {
 		dbs.End(err)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
@@ -194,7 +238,12 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 		dbs.End(err)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
 	}
-	models, err := s.deps.Repo.ListModels()
+	var models []repository.ModelMeta
+	err = s.retry.do(ctx, stageDBQuery, func() error {
+		var qerr error
+		models, qerr = s.deps.Repo.ListModels()
+		return qerr
+	})
 	if err != nil {
 		dbs.End(err)
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err
@@ -216,7 +265,12 @@ func (s *PredictService) load(ctx context.Context, req ecoplugin.PredictRequest)
 		bs.SetAttr("sim_latency", LatencyBlobFetch.String())
 		bs.SetAttr("key", blobKey)
 	}
-	data, err := s.deps.Blob.Get(blobKey)
+	var data []byte
+	err = s.retry.do(ctx, stageBlobFetch, func() error {
+		var gerr error
+		data, gerr = s.deps.Blob.Get(blobKey)
+		return gerr
+	})
 	bs.End(err)
 	if err != nil {
 		return perfmodel.Config{}, nil, latency, ecoplugin.SourceCold, err

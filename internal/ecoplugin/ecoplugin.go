@@ -230,7 +230,19 @@ func (p *Plugin) JobSubmitCtx(ctx context.Context, desc *slurm.JobDesc, submitUI
 	return lat, err
 }
 
-func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace.Span) (time.Duration, error) {
+func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace.Span) (lat time.Duration, err error) {
+	// Fail open even on a panic below (a predictor bug, a poisoned
+	// model): sbatch must never lose the job over the energy optimiser.
+	// The description is only mutated after a fully successful
+	// prediction, so recovery can never observe a half-rewritten job.
+	defer func() {
+		if r := recover(); r != nil {
+			if lat <= 0 {
+				lat = hashLatency
+			}
+			err = p.fallBack(span, fmt.Errorf("ecoplugin: submit panic: %v", r))
+		}
+	}()
 	p.Submissions++
 	p.metrics.Counter(metricSubmissions).Inc()
 

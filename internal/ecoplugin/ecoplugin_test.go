@@ -3,6 +3,7 @@ package ecoplugin
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -221,6 +222,46 @@ func TestBudgetExceededFallsBackUnmodified(t *testing.T) {
 	}
 	if p.Fallbacks != 1 {
 		t.Fatalf("Fallbacks = %d, want 1", p.Fallbacks)
+	}
+}
+
+// panicPredictor simulates a predictor bug (poisoned model, nil deref
+// deep in the optimizer): the plugin must treat it like any other
+// prediction failure and fail open.
+type panicPredictor struct{}
+
+func (panicPredictor) Predict(context.Context, PredictRequest) (PredictResult, error) {
+	panic("poisoned model")
+}
+
+func TestPredictorPanicFailsOpen(t *testing.T) {
+	_, _, fs := newRig(t)
+	st := settings.NewMemStore()
+	s := settings.Defaults()
+	s.State = settings.StateActive
+	if err := st.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(fs, panicPredictor{}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := slurm.JobDesc{BinaryPath: "/bin/app", NumTasks: 16, MaxFreqKHz: 2_500_000}
+	lat, err := p.JobSubmit(&desc, 1000)
+	if err != nil {
+		t.Fatalf("predictor panic must not reject the job: %v", err)
+	}
+	if lat <= 0 {
+		t.Fatal("latency not reported after recovery")
+	}
+	if desc.NumTasks != 16 || desc.MaxFreqKHz != 2_500_000 {
+		t.Fatal("panicking prediction still rewrote the job")
+	}
+	if p.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", p.Fallbacks)
+	}
+	if p.LastErr == nil || !strings.Contains(p.LastErr.Error(), "panic") {
+		t.Fatalf("LastErr = %v, want the recovered panic", p.LastErr)
 	}
 }
 

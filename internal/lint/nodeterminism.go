@@ -25,6 +25,7 @@ var DeterministicPackages = []string{
 	"internal/ipmi",
 	"internal/hw",
 	"internal/energymarket",
+	"internal/fault",
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait
