@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz cover bench bench-json serve-smoke clean
+.PHONY: all build vet lint test race chaos fuzz cover bench bench-json serve-smoke scale-smoke clean
 
 all: vet lint test
 
@@ -49,6 +49,15 @@ bench:
 # code so perf regressions show up in review diffs.
 bench-json:
 	$(GO) test -run XXX -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+
+# scale-smoke exercises the cluster-scale surface: the committed
+# 1,024-node 100k-submission spec through the ecosim CLI, then the
+# replay-fidelity suite under the race detector on the reduced spec
+# (the 1M acceptance regression is build-gated out of -race runs and
+# covered by plain `make test`).
+scale-smoke: build
+	$(GO) run ./cmd/ecosim -spec specs/scale-smoke.json
+	$(GO) test -race -run 'ClusterReplayFidelity|DifferentSeedDiverges|CommittedSpecsParse' -v .
 
 # serve-smoke boots `chronus serve` against a fresh data directory and
 # fails unless /metrics and /healthz answer 200 with the expected

@@ -19,6 +19,7 @@ import (
 	"ecosched/internal/optimizer"
 	"ecosched/internal/paperdata"
 	"ecosched/internal/repository"
+	"ecosched/internal/workload"
 )
 
 func benchDeployment(b *testing.B) *Deployment {
@@ -424,4 +425,24 @@ func BenchmarkParallelSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkClusterThroughput measures the cluster-scale event loop:
+// the committed 100k-submission smoke spec (1,024 nodes across two
+// partitions, generated workload) run end to end under one shared
+// clock, reporting wall-clock submission throughput.
+func BenchmarkClusterThroughput(b *testing.B) {
+	b.ReportAllocs()
+	spec, err := workload.LoadSpec("specs/scale-smoke.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report *ClusterReport
+	for i := 0; i < b.N; i++ {
+		if report, err = RunClusterSpec(spec, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(report.Submissions)*float64(b.N)/b.Elapsed().Seconds(), "submissions/s")
+	b.ReportMetric(float64(report.Totals.Completed), "jobs-completed")
 }

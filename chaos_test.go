@@ -84,7 +84,7 @@ func optInDesc(d *Deployment, binary string) slurm.JobDesc {
 func requireFailOpen(t *testing.T, d *Deployment, desc slurm.JobDesc) (slurm.JobDesc, time.Duration) {
 	t.Helper()
 	orig := desc
-	lat, err := d.Plugin.JobSubmit(&desc, 0)
+	lat, err := d.Plugin.JobSubmit(context.Background(), &desc, 0)
 	if err != nil {
 		t.Fatalf("submit errored under faults: %v", err)
 	}

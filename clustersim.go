@@ -1,0 +1,268 @@
+// Cluster-scale simulation: drive a generated or replayed submission
+// stream through a multi-partition cluster under one shared simulated
+// clock. This is the scale surface of the simulator — thousands of
+// hw.Node stacks, per-partition queues and policies, millions of
+// submissions — while staying fully deterministic: a (spec, seed) pair
+// or a recorded submission log reproduces the run byte for byte.
+package ecosched
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ecosched/internal/hw"
+	"ecosched/internal/perfmodel"
+	"ecosched/internal/simclock"
+	"ecosched/internal/slurm"
+	"ecosched/internal/workload"
+)
+
+// ClusterReport is the accounting outcome of a cluster-scale run. Two
+// runs are equivalent iff their reports are equal — the regression
+// tests compare reports (and their rendered text) byte for byte.
+type ClusterReport struct {
+	Spec        string
+	Seed        uint64
+	Nodes       int
+	Submissions int
+	// Rejected counts submissions the controller refused (unknown
+	// partition, unsatisfiable request); they appear in no other total.
+	Rejected int
+	Totals   slurm.AcctTotals
+	// Makespan is simulated time from the run's start until the last
+	// event — the final job completion — drained.
+	Makespan time.Duration
+	// ClusterSystemKJ and ClusterCPUKJ integrate every node's energy
+	// counters over the whole run, idle time included (job-attributed
+	// energy lives in Totals).
+	ClusterSystemKJ float64
+	ClusterCPUKJ    float64
+	Partitions      []PartitionReport
+}
+
+// PartitionReport aggregates one partition's traffic, in spec order.
+type PartitionReport struct {
+	Name      string
+	Nodes     int
+	Submitted int
+	Completed int
+	Failed    int
+	Cancelled int
+	// SystemKJ is the job-attributed system energy of this partition's
+	// terminal jobs.
+	SystemKJ float64
+	// PeakQueueDepth is the largest pending-queue length observed at a
+	// submission instant.
+	PeakQueueDepth int
+}
+
+// WriteText renders the report in a stable layout: identical runs
+// produce identical bytes.
+func (r *ClusterReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "spec        %s (seed %d)\n", r.Spec, r.Seed)
+	fmt.Fprintf(w, "cluster     %d nodes, %d partitions\n", r.Nodes, len(r.Partitions))
+	fmt.Fprintf(w, "submissions %d (%d rejected)\n", r.Submissions, r.Rejected)
+	fmt.Fprintf(w, "jobs        %d completed, %d failed, %d cancelled\n",
+		r.Totals.Completed, r.Totals.Failed, r.Totals.Cancelled)
+	fmt.Fprintf(w, "makespan    %s\n", r.Makespan)
+	fmt.Fprintf(w, "wait        %.3f s mean\n", r.meanWaitSeconds())
+	fmt.Fprintf(w, "job energy  %.3f kJ system, %.3f kJ cpu\n", r.Totals.SystemKJ, r.Totals.CPUKJ)
+	fmt.Fprintf(w, "run energy  %.3f kJ system, %.3f kJ cpu (idle included)\n",
+		r.ClusterSystemKJ, r.ClusterCPUKJ)
+	for _, p := range r.Partitions {
+		fmt.Fprintf(w, "partition   %-12s %5d nodes  %8d submitted  %8d completed  %6d failed  %6d cancelled  peak queue %6d  %.3f kJ\n",
+			p.Name, p.Nodes, p.Submitted, p.Completed, p.Failed, p.Cancelled, p.PeakQueueDepth, p.SystemKJ)
+	}
+}
+
+func (r *ClusterReport) meanWaitSeconds() float64 {
+	started := r.Totals.Completed + r.Totals.Failed
+	if started == 0 {
+		return 0
+	}
+	return r.Totals.WaitSeconds / float64(started)
+}
+
+// RunClusterSpec generates the spec's submission stream and runs it to
+// completion. When record is non-nil, every generated submission is
+// written to it as a versioned JSONL log replayable with
+// ReplayClusterLog; the log embeds the spec, so it is self-contained.
+func RunClusterSpec(spec workload.Spec, record io.Writer) (*ClusterReport, error) {
+	sim := simclock.New()
+	gen, err := workload.NewGenerator(spec, sim.Now())
+	if err != nil {
+		return nil, err
+	}
+	var lw *workload.LogWriter
+	if record != nil {
+		if lw, err = workload.NewLogWriter(record, spec, sim.Now()); err != nil {
+			return nil, err
+		}
+	}
+	return runCluster(sim, spec, gen, lw)
+}
+
+// ReplayClusterLog replays a recorded submission log through a cluster
+// rebuilt from the spec embedded in the log header. A replay is
+// byte-equivalent to the run that recorded the log: same placement,
+// same accounting totals, same energy.
+func ReplayClusterLog(r io.Reader) (*ClusterReport, error) {
+	lr, err := workload.NewLogReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return runCluster(simclock.NewAt(lr.Start()), lr.Spec(), lr, nil)
+}
+
+// clusterSeedStride decorrelates per-node noise seeds derived from the
+// spec seed (the same odd-constant mixing the benchmark pool uses).
+const clusterSeedStride = 0x9e3779b9
+
+// runCluster builds the cluster the spec describes and pumps the
+// submission source through it under one shared clock.
+//
+// Submissions enter through a single event chain — each submission's
+// event schedules the next one — so the event heap holds one pending
+// submission at a time and, crucially, same-instant tie-breaking
+// between submissions and job completions is identical between a
+// generated run and its replay.
+func runCluster(sim *simclock.Sim, spec workload.Spec, src workload.Source, lw *workload.LogWriter) (*ClusterReport, error) {
+	conf := slurm.DefaultConf()
+	conf.ClusterName = spec.Name
+	conf.Partitions = nil
+	for _, ps := range spec.Cluster.Partitions {
+		conf.Partitions = append(conf.Partitions, slurm.Partition{
+			Name:    ps.Name,
+			MaxTime: ps.MaxTime.Std(),
+			Default: ps.Default,
+		})
+	}
+
+	calib := perfmodel.Default()
+	spec0 := hw.DefaultSpec()
+	opts := []slurm.ClusterOption{slurm.WithAggregateAccounting()}
+	var nodes []*hw.Node
+	idx := 0
+	for _, ps := range spec.Cluster.Partitions {
+		pool := make([]*hw.Node, ps.Nodes)
+		for i := range pool {
+			ns := spec0
+			ns.Name = fmt.Sprintf("%s-%04d", ps.Name, i+1)
+			pool[i] = hw.NewNode(sim, ns, calib, spec.Seed+uint64(idx)*clusterSeedStride+1)
+			idx++
+		}
+		nodes = append(nodes, pool...)
+		opts = append(opts, slurm.WithPartitionNodes(ps.Name, pool...))
+		if ps.Policy == "multifactor" {
+			opts = append(opts, slurm.WithPartitionPolicy(ps.Name, slurm.DefaultMultifactor(spec0.Cores)))
+		}
+	}
+
+	cluster, err := slurm.NewCluster(sim, conf, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ClusterReport{Spec: spec.Name, Seed: spec.Seed, Nodes: len(nodes)}
+	stats := make(map[string]*PartitionReport, len(spec.Cluster.Partitions))
+	report.Partitions = make([]PartitionReport, len(spec.Cluster.Partitions))
+	for i, ps := range spec.Cluster.Partitions {
+		report.Partitions[i] = PartitionReport{Name: ps.Name, Nodes: ps.Nodes}
+		stats[ps.Name] = &report.Partitions[i]
+	}
+	defaultPart := conf.DefaultPartition().Name
+
+	cluster.OnCompletion(func(j *slurm.Job) {
+		p := stats[j.Desc.Partition]
+		if p == nil {
+			return
+		}
+		switch j.State {
+		case slurm.StateCompleted:
+			p.Completed++
+		case slurm.StateFailed:
+			p.Failed++
+		case slurm.StateCancelled:
+			p.Cancelled++
+		}
+		p.SystemKJ += j.SystemJ / 1000
+	})
+
+	var pumpErr error
+	submit := func(s workload.Submission) {
+		if lw != nil {
+			if err := lw.Record(s); err != nil && pumpErr == nil {
+				pumpErr = err
+			}
+		}
+		report.Submissions++
+		part := s.Partition
+		if part == "" {
+			part = defaultPart
+		}
+		shape := s.Shape
+		_, err := cluster.Submit(slurm.JobDesc{
+			Name:          s.JobName,
+			Comment:       s.Comment,
+			NumTasks:      s.Tasks,
+			ThreadsPerCPU: s.ThreadsPerCPU,
+			TimeLimit:     s.TimeLimit,
+			Partition:     s.Partition,
+			UserID:        s.UserID,
+			Shape:         &shape,
+		})
+		if err != nil {
+			report.Rejected++
+			return
+		}
+		if p := stats[part]; p != nil {
+			p.Submitted++
+			if depth := cluster.QueueDepth(part); depth > p.PeakQueueDepth {
+				p.PeakQueueDepth = depth
+			}
+		}
+	}
+
+	var pump func(s workload.Submission)
+	pump = func(s workload.Submission) {
+		submit(s)
+		next, ok, err := src.Next()
+		if err != nil {
+			if pumpErr == nil {
+				pumpErr = err
+			}
+			return
+		}
+		if ok {
+			sim.At(next.At, func() { pump(next) })
+		}
+	}
+
+	start := sim.Now()
+	first, ok, err := src.Next()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		sim.At(first.At, func() { pump(first) })
+	}
+	sim.Run()
+	if pumpErr != nil {
+		return nil, pumpErr
+	}
+	if lw != nil {
+		if err := lw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	report.Totals = cluster.Accounting().Totals()
+	report.Makespan = sim.Now().Sub(start)
+	for _, n := range nodes {
+		sysJ, cpuJ := n.EnergyJ()
+		report.ClusterSystemKJ += sysJ / 1000
+		report.ClusterCPUKJ += cpuJ / 1000
+	}
+	return report, nil
+}

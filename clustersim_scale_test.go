@@ -1,0 +1,81 @@
+//go:build !race
+
+package ecosched
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestClusterScaleAcceptance is the cluster-scale acceptance
+// regression: the committed 1k-node spec generates one million
+// submissions, and two same-seed runs plus a replay of the recorded
+// log must agree byte for byte on accounting and energy. Excluded
+// from -race builds (TestClusterReplayFidelity covers the reduced
+// spec there) and from -short runs.
+func TestClusterScaleAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-submission acceptance run; skipped with -short")
+	}
+	spec := loadSpec(t, "cluster-1k-1m.json")
+
+	logPath := filepath.Join(t.TempDir(), "cluster-1k-1m.log.jsonl")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1, err := RunClusterSpec(spec, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run2, err := RunClusterSpec(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run1, run2) {
+		t.Fatalf("same-seed 1M runs diverge:\n%+v\nvs\n%+v", run1, run2)
+	}
+
+	rf, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	replayed, err := ReplayClusterLog(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run1, replayed) {
+		t.Fatalf("1M replay diverges from recorded run:\n%+v\nvs\n%+v", run1, replayed)
+	}
+	var a, b bytes.Buffer
+	run1.WriteText(&a)
+	replayed.WriteText(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("rendered 1M reports differ")
+	}
+
+	if run1.Submissions != 1_000_000 {
+		t.Fatalf("generated %d submissions, want 1M", run1.Submissions)
+	}
+	if run1.Nodes < 1000 || len(run1.Partitions) < 2 {
+		t.Fatalf("cluster too small: %d nodes, %d partitions", run1.Nodes, len(run1.Partitions))
+	}
+	if run1.Totals.Jobs+run1.Rejected != run1.Submissions {
+		t.Fatalf("accounted %d of %d submissions", run1.Totals.Jobs+run1.Rejected, run1.Submissions)
+	}
+	queued := false
+	for _, p := range run1.Partitions {
+		queued = queued || p.PeakQueueDepth > 0
+	}
+	if !queued {
+		t.Fatal("no partition ever queued — the spec no longer exercises contention")
+	}
+}

@@ -16,12 +16,15 @@
 //	chronus -data DIR trace JOB_ID
 //	chronus -data DIR events [-since DUR]
 //	chronus -data DIR serve [-addr HOST:PORT] [-pprof]
+//	chronus simulate -spec FILE [-record FILE]
+//	chronus simulate -replay FILE
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +37,7 @@ import (
 	"ecosched/internal/ecoplugin"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/trace"
+	"ecosched/internal/workload"
 )
 
 func main() {
@@ -54,12 +58,12 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics|trace|events|serve) ...")
+		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics|trace|events|serve|simulate) ...")
 	}
 
-	// metrics, trace and events only read persisted observability
-	// state; they need no deployment (and must not wire one, or it
-	// would flush an empty snapshot on Close).
+	// metrics, trace, events and simulate are stateless with respect
+	// to the data directory; they need no deployment (and must not
+	// wire one, or it would flush an empty snapshot on Close).
 	switch rest[0] {
 	case "metrics":
 		return cmdMetrics(*dataDir, rest[1:])
@@ -67,6 +71,8 @@ func run(args []string) error {
 		return cmdTrace(*dataDir, rest[1:])
 	case "events":
 		return cmdEvents(*dataDir, rest[1:])
+	case "simulate":
+		return cmdSimulate(rest[1:])
 	}
 
 	// Every stateful command traces into DataDir/events.jsonl, so a
@@ -313,6 +319,69 @@ func readJournal(dataDir string) ([]trace.Event, error) {
 		return nil, err
 	}
 	return events, nil
+}
+
+// cmdSimulate runs a cluster-scale simulation from a workload spec
+// (or replays a recorded submission log) entirely in memory: no data
+// directory, no deployment, deterministic for a given (spec, seed).
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "workload spec (JSON) describing the cluster and its clients")
+	recordPath := fs.String("record", "", "record the generated submission stream to this JSONL log")
+	replayPath := fs.String("replay", "", "replay a submission log instead of generating one")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: chronus simulate (-spec FILE [-record FILE] | -replay FILE)")
+	}
+	switch {
+	case *specPath != "" && *replayPath != "":
+		return fmt.Errorf("-spec and -replay are mutually exclusive")
+	case *replayPath != "" && *recordPath != "":
+		return fmt.Errorf("-record only applies to generated runs (-spec)")
+	case *replayPath != "":
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		report, err := ecosched.ReplayClusterLog(f)
+		if err != nil {
+			return err
+		}
+		report.WriteText(os.Stdout)
+		return nil
+	case *specPath == "":
+		return fmt.Errorf("usage: chronus simulate (-spec FILE [-record FILE] | -replay FILE)")
+	}
+
+	spec, err := workload.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	var rec io.Writer
+	var recFile *os.File
+	if *recordPath != "" {
+		if recFile, err = os.Create(*recordPath); err != nil {
+			return err
+		}
+		rec = recFile
+	}
+	report, err := ecosched.RunClusterSpec(spec, rec)
+	if recFile != nil {
+		if cerr := recFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	report.WriteText(os.Stdout)
+	if *recordPath != "" {
+		fmt.Printf("recorded     %s (replay with `chronus simulate -replay %s`)\n", *recordPath, *recordPath)
+	}
+	return nil
 }
 
 func cmdServe(d *ecosched.Deployment, args []string) error {

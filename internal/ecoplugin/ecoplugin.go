@@ -119,8 +119,7 @@ type Predictor interface {
 	Predict(ctx context.Context, req PredictRequest) (PredictResult, error)
 }
 
-// Plugin implements slurm.SubmitPlugin (and its traced extension,
-// slurm.CtxSubmitPlugin).
+// Plugin implements slurm.SubmitPlugin.
 type Plugin struct {
 	fs        procfs.FileReader
 	predictor Predictor
@@ -138,7 +137,7 @@ type Plugin struct {
 	LastErr     error
 }
 
-var _ slurm.CtxSubmitPlugin = (*Plugin)(nil)
+var _ slurm.SubmitPlugin = (*Plugin)(nil)
 
 // Option configures optional plugin behaviour.
 type Option func(*Plugin)
@@ -187,11 +186,6 @@ func (*Plugin) Name() string { return "eco" }
 // kernel files at submit time.
 const hashLatency = time.Millisecond
 
-// JobSubmit implements slurm.SubmitPlugin.
-func (p *Plugin) JobSubmit(desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
-	return p.JobSubmitCtx(context.Background(), desc, submitUID)
-}
-
 // Verdicts recorded on the chronus.eco.submit span — the per-decision
 // attribution an operator replays with `chronus trace <job>`.
 const (
@@ -216,11 +210,10 @@ const (
 	metricSourcePrefix = "chronus.eco.plugin.source."
 )
 
-// JobSubmitCtx implements slurm.CtxSubmitPlugin: the traced submit
-// path. The span opened here is the parent of the whole prediction
-// (predict → cache|load → optimize), so one trace covers the full
-// decision.
-func (p *Plugin) JobSubmitCtx(ctx context.Context, desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
+// JobSubmit implements slurm.SubmitPlugin. The span opened here is
+// the parent of the whole prediction (predict → cache|load →
+// optimize), so one trace covers the full decision.
+func (p *Plugin) JobSubmit(ctx context.Context, desc *slurm.JobDesc, submitUID uint32) (time.Duration, error) {
 	ctx, span := p.tracer.Start(ctx, SpanSubmit)
 	lat, err := p.jobSubmit(ctx, desc, span)
 	if span != nil {

@@ -116,7 +116,7 @@ func TestUserModeRequiresOptIn(t *testing.T) {
 	p, _ := newPlugin(t, pred, settings.StateUser)
 
 	plain := slurm.JobDesc{BinaryPath: "/opt/hpcg/xhpcg", NumTasks: 32, MaxFreqKHz: 2_500_000}
-	if _, err := p.JobSubmit(&plain, 1000); err != nil {
+	if _, err := p.JobSubmit(context.Background(), &plain, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if plain.MaxFreqKHz != 2_500_000 || pred.calls != 0 {
@@ -124,7 +124,7 @@ func TestUserModeRequiresOptIn(t *testing.T) {
 	}
 
 	optIn := slurm.JobDesc{BinaryPath: "/opt/hpcg/xhpcg", NumTasks: 32, MaxFreqKHz: 2_500_000, Comment: OptInComment}
-	if _, err := p.JobSubmit(&optIn, 1000); err != nil {
+	if _, err := p.JobSubmit(context.Background(), &optIn, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if optIn.NumTasks != 32 || optIn.MaxFreqKHz != 2_200_000 || optIn.MinFreqKHz != 2_200_000 || optIn.ThreadsPerCPU != 1 {
@@ -139,7 +139,7 @@ func TestActiveModeRewritesEverything(t *testing.T) {
 	pred := &fakePredictor{cfg: perfmodel.BestConfig()}
 	p, _ := newPlugin(t, pred, settings.StateActive)
 	desc := slurm.JobDesc{BinaryPath: "/bin/app", NumTasks: 8, MaxFreqKHz: 2_500_000}
-	p.JobSubmit(&desc, 1000)
+	p.JobSubmit(context.Background(), &desc, 1000)
 	if desc.MaxFreqKHz != 2_200_000 {
 		t.Fatal("active mode did not rewrite a non-opted job")
 	}
@@ -149,7 +149,7 @@ func TestDeactivatedModeNeverRewrites(t *testing.T) {
 	pred := &fakePredictor{cfg: perfmodel.BestConfig()}
 	p, _ := newPlugin(t, pred, settings.StateDeactivated)
 	desc := slurm.JobDesc{BinaryPath: "/bin/app", Comment: OptInComment, MaxFreqKHz: 2_500_000}
-	p.JobSubmit(&desc, 1000)
+	p.JobSubmit(context.Background(), &desc, 1000)
 	if desc.MaxFreqKHz != 2_500_000 || pred.calls != 0 {
 		t.Fatal("deactivated plugin still rewrote")
 	}
@@ -159,7 +159,7 @@ func TestPredictorErrorFailsOpen(t *testing.T) {
 	pred := &fakePredictor{err: fmt.Errorf("no model loaded")}
 	p, _ := newPlugin(t, pred, settings.StateActive)
 	desc := slurm.JobDesc{BinaryPath: "/bin/app", NumTasks: 16, MaxFreqKHz: 2_500_000}
-	lat, err := p.JobSubmit(&desc, 1000)
+	lat, err := p.JobSubmit(context.Background(), &desc, 1000)
 	if err != nil {
 		t.Fatalf("prediction failure must not reject the job: %v", err)
 	}
@@ -178,7 +178,7 @@ func TestPredictorReceivesHashes(t *testing.T) {
 	pred := &fakePredictor{cfg: perfmodel.BestConfig()}
 	p, _ := newPlugin(t, pred, settings.StateActive)
 	desc := slurm.JobDesc{BinaryPath: "/opt/hpcg/xhpcg"}
-	p.JobSubmit(&desc, 1000)
+	p.JobSubmit(context.Background(), &desc, 1000)
 	if pred.lastReq.BinaryHash != BinaryHash("/opt/hpcg/xhpcg") {
 		t.Fatalf("binary hash = %s", pred.lastReq.BinaryHash)
 	}
@@ -204,7 +204,7 @@ func TestBudgetThreadedToPredictor(t *testing.T) {
 		t.Fatal(err)
 	}
 	desc := slurm.JobDesc{BinaryPath: "/bin/app"}
-	p.JobSubmit(&desc, 1000)
+	p.JobSubmit(context.Background(), &desc, 1000)
 	if want := 100*time.Millisecond - hashLatency; pred.lastReq.Budget != want {
 		t.Fatalf("predictor budget = %v, want %v (configured minus hash cost)", pred.lastReq.Budget, want)
 	}
@@ -214,7 +214,7 @@ func TestBudgetExceededFallsBackUnmodified(t *testing.T) {
 	pred := &fakePredictor{err: fmt.Errorf("sweep too slow: %w", ErrBudgetExceeded)}
 	p, _ := newPlugin(t, pred, settings.StateActive)
 	desc := slurm.JobDesc{BinaryPath: "/bin/app", NumTasks: 16, MaxFreqKHz: 2_500_000}
-	if _, err := p.JobSubmit(&desc, 1000); err != nil {
+	if _, err := p.JobSubmit(context.Background(), &desc, 1000); err != nil {
 		t.Fatalf("budget overrun must not reject the job: %v", err)
 	}
 	if desc.NumTasks != 16 || desc.MaxFreqKHz != 2_500_000 {
@@ -247,7 +247,7 @@ func TestPredictorPanicFailsOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	desc := slurm.JobDesc{BinaryPath: "/bin/app", NumTasks: 16, MaxFreqKHz: 2_500_000}
-	lat, err := p.JobSubmit(&desc, 1000)
+	lat, err := p.JobSubmit(context.Background(), &desc, 1000)
 	if err != nil {
 		t.Fatalf("predictor panic must not reject the job: %v", err)
 	}
@@ -269,7 +269,7 @@ func TestLatencyIncludesPredictor(t *testing.T) {
 	pred := &fakePredictor{cfg: perfmodel.BestConfig(), latency: 300 * time.Millisecond}
 	p, _ := newPlugin(t, pred, settings.StateActive)
 	desc := slurm.JobDesc{BinaryPath: "/bin/app"}
-	lat, _ := p.JobSubmit(&desc, 1000)
+	lat, _ := p.JobSubmit(context.Background(), &desc, 1000)
 	if lat < 300*time.Millisecond {
 		t.Fatalf("latency %v does not include predictor time", lat)
 	}

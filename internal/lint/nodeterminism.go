@@ -26,6 +26,7 @@ var DeterministicPackages = []string{
 	"internal/hw",
 	"internal/energymarket",
 	"internal/fault",
+	"internal/workload",
 }
 
 // forbiddenTimeFuncs are the package time functions that read or wait

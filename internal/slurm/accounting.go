@@ -50,12 +50,52 @@ func (r AcctRecord) GFLOPSPerWatt() float64 {
 	return r.GFLOPS / w
 }
 
-// Accounting is the simulated slurmdbd.
+// AcctTotals are running aggregates over every terminal job,
+// maintained in both accounting modes. They are the byte-comparable
+// outcome of a cluster run: two runs agree iff their totals agree.
+type AcctTotals struct {
+	Jobs           int
+	Completed      int
+	Failed         int
+	Cancelled      int
+	SystemKJ       float64
+	CPUKJ          float64
+	CPUSeconds     float64 // cores × runtime, summed
+	RuntimeSeconds float64
+	WaitSeconds    float64 // submit → start, for jobs that started
+}
+
+// Accounting is the simulated slurmdbd. In the default mode it keeps
+// one row per job; in aggregate-only mode (WithAggregateAccounting)
+// it keeps only the running totals, bounding memory for runs with
+// millions of submissions.
 type Accounting struct {
-	records []AcctRecord
+	records       []AcctRecord
+	totals        AcctTotals
+	aggregateOnly bool
 }
 
 func (a *Accounting) record(job *Job) {
+	a.totals.Jobs++
+	switch job.State {
+	case StateCompleted:
+		a.totals.Completed++
+	case StateFailed:
+		a.totals.Failed++
+	case StateCancelled:
+		a.totals.Cancelled++
+	}
+	a.totals.SystemKJ += job.SystemJ / 1000
+	a.totals.CPUKJ += job.CPUJ / 1000
+	if !job.StartTime.IsZero() && !job.EndTime.IsZero() {
+		secs := job.EndTime.Sub(job.StartTime).Seconds()
+		a.totals.RuntimeSeconds += secs
+		a.totals.CPUSeconds += float64(job.Desc.NumTasks) * secs
+		a.totals.WaitSeconds += job.StartTime.Sub(job.SubmitTime).Seconds()
+	}
+	if a.aggregateOnly {
+		return
+	}
 	a.records = append(a.records, AcctRecord{
 		JobID:      job.ID,
 		Name:       job.Desc.Name,
@@ -90,11 +130,10 @@ func (a *Accounting) Record(jobID int) (AcctRecord, bool) {
 	return AcctRecord{}, false
 }
 
-// TotalSystemKJ sums system energy over all completed jobs.
+// Totals returns the running aggregates over all terminal jobs.
+func (a *Accounting) Totals() AcctTotals { return a.totals }
+
+// TotalSystemKJ sums system energy over all terminal jobs.
 func (a *Accounting) TotalSystemKJ() float64 {
-	var sum float64
-	for _, r := range a.records {
-		sum += r.SystemKJ
-	}
-	return sum
+	return a.totals.SystemKJ
 }

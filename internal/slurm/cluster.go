@@ -1,0 +1,303 @@
+package slurm
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"ecosched/internal/hw"
+	"ecosched/internal/metrics"
+	"ecosched/internal/simclock"
+	"ecosched/internal/trace"
+)
+
+// Per-partition metric name prefixes; the partition name is appended
+// (chronus.cluster.partition.queue_depth.batch, ...).
+const (
+	metricPartQueuePrefix  = "chronus.cluster.partition.queue_depth."
+	metricPartOccPrefix    = "chronus.cluster.partition.occupancy."
+	metricPartEnergyPrefix = "chronus.cluster.partition.energy_kj."
+	metricPartDonePrefix   = "chronus.cluster.partition.jobs_completed."
+)
+
+// partition is one scheduling domain: a named pending queue with its
+// own policy and node pool, stepped under the controller's shared
+// clock. Legacy single-pool clusters (WithNodes) share every node
+// across all partitions; dedicated pools (WithPartitionNodes) scope a
+// partition to its own hardware.
+type partition struct {
+	name   string
+	conf   Partition
+	policy SchedulingPolicy
+	fifo   bool // policy is FIFO → pending stays ID-ordered, skip sorting
+	nodes  []*nodeD
+	// classes are the distinct node capability shapes in the pool, the
+	// O(1)-per-class feasibility check for submissions.
+	classes []hw.NodeSpec
+	// freeHeap holds idle, undrained nodes ordered by construction
+	// index — pop-min reproduces the first-fit placement order of the
+	// original linear node scan without rescanning thousands of busy
+	// nodes on every pass. Entries can go stale when a shared node is
+	// claimed through another partition; stale entries are discarded
+	// lazily on pop (the node's free flag is the source of truth).
+	freeHeap nodeHeap
+	scratch  []*nodeD // takeIdle spill for free nodes that don't satisfy a request
+	pending  []*Job
+	busy     int // running jobs occupying this partition's nodes
+
+	queueGauge  *metrics.Gauge
+	occGauge    *metrics.Gauge
+	energyGauge *metrics.Gauge
+	doneCount   *metrics.Counter
+}
+
+// takeIdle claims the lowest-indexed idle node that satisfies the
+// request, or nil. The claimed node's free flag is cleared; the
+// caller must hand it back through refreeNode if the start fails.
+func (p *partition) takeIdle(desc JobDesc) *nodeD {
+	var found *nodeD
+	for p.freeHeap.Len() > 0 {
+		n := heap.Pop(&p.freeHeap).(*nodeD)
+		if !n.free {
+			continue // claimed through another partition sharing the node
+		}
+		if nodeSatisfies(n, desc) {
+			found = n
+			break
+		}
+		p.scratch = append(p.scratch, n)
+	}
+	for _, n := range p.scratch {
+		heap.Push(&p.freeHeap, n)
+	}
+	p.scratch = p.scratch[:0]
+	if found != nil {
+		found.free = false
+	}
+	return found
+}
+
+// setPolicy installs a scheduling policy and refreshes the FIFO fast
+// path.
+func (p *partition) setPolicy(pol SchedulingPolicy) {
+	p.policy = pol
+	_, p.fifo = pol.(FIFOPolicy)
+}
+
+// addNode appends a node to the pool, recording its capability class.
+func (p *partition) addNode(n *nodeD) {
+	p.nodes = append(p.nodes, n)
+	n.parts = append(n.parts, p)
+	spec := n.hw.Spec()
+	for _, cl := range p.classes {
+		if cl.Cores == spec.Cores && cl.ThreadsPerCore == spec.ThreadsPerCore && cl.RAMGB == spec.RAMGB {
+			return
+		}
+	}
+	p.classes = append(p.classes, spec)
+}
+
+// nodeHeap is a min-heap of nodes by construction index.
+type nodeHeap []*nodeD
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].idx < h[j].idx }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*nodeD)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*clusterConfig)
+
+type partNodesOpt struct {
+	partition string
+	nodes     []*hw.Node
+}
+
+type partPolicyOpt struct {
+	partition string
+	policy    SchedulingPolicy
+}
+
+type workloadOpt struct {
+	binaryPath string
+	workload   Workload
+}
+
+type clusterConfig struct {
+	shared       []*hw.Node
+	partNodes    []partNodesOpt
+	policy       SchedulingPolicy
+	partPolicies []partPolicyOpt
+	metrics      *metrics.Registry
+	tracer       *trace.Tracer
+	aggregate    bool
+	workloads    []workloadOpt
+	fallback     Workload
+}
+
+// WithNodes adds nodes shared by every partition — the legacy single
+// pool, where any partition's jobs can land on any node.
+func WithNodes(nodes ...*hw.Node) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.shared = append(cfg.shared, nodes...) }
+}
+
+// WithPartitionNodes dedicates nodes to one named partition, which
+// must exist in the configuration.
+func WithPartitionNodes(partition string, nodes ...*hw.Node) ClusterOption {
+	return func(cfg *clusterConfig) {
+		cfg.partNodes = append(cfg.partNodes, partNodesOpt{partition: partition, nodes: nodes})
+	}
+}
+
+// WithPolicy sets the scheduling policy for every partition (default
+// FIFO).
+func WithPolicy(p SchedulingPolicy) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.policy = p }
+}
+
+// WithPartitionPolicy overrides the scheduling policy of one named
+// partition.
+func WithPartitionPolicy(partition string, p SchedulingPolicy) ClusterOption {
+	return func(cfg *clusterConfig) {
+		cfg.partPolicies = append(cfg.partPolicies, partPolicyOpt{partition: partition, policy: p})
+	}
+}
+
+// WithMetrics attaches an observability registry at construction.
+func WithMetrics(r *metrics.Registry) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.metrics = r }
+}
+
+// WithTracer attaches a decision tracer at construction.
+func WithTracer(t *trace.Tracer) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.tracer = t }
+}
+
+// WithAggregateAccounting switches the controller to aggregate-only
+// accounting: finished jobs fold into running totals (Accounting's
+// Totals) and are retired from memory instead of being kept as
+// per-job records — the mode that lets a single run absorb millions
+// of submissions without holding them all.
+func WithAggregateAccounting() ClusterOption {
+	return func(cfg *clusterConfig) { cfg.aggregate = true }
+}
+
+// WithWorkload registers a binary-path → workload-model mapping at
+// construction.
+func WithWorkload(binaryPath string, w Workload) ClusterOption {
+	return func(cfg *clusterConfig) {
+		cfg.workloads = append(cfg.workloads, workloadOpt{binaryPath: binaryPath, workload: w})
+	}
+}
+
+// WithFallbackWorkload sets the workload used for unknown binaries.
+func WithFallbackWorkload(w Workload) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.fallback = w }
+}
+
+// NewCluster builds a controller over the configuration's partitions
+// and the node pools the options describe. Submit plugins named in
+// conf.JobSubmitPlugins must be registered with RegisterPlugin before
+// the first submission.
+func NewCluster(sim *simclock.Sim, conf Conf, opts ...ClusterOption) (*Controller, error) {
+	var cfg clusterConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(conf.Partitions) == 0 {
+		return nil, fmt.Errorf("slurm: configuration has no partitions")
+	}
+	if len(cfg.shared) == 0 && len(cfg.partNodes) == 0 {
+		return nil, fmt.Errorf("slurm: controller needs at least one node")
+	}
+
+	c := &Controller{
+		sim:        sim,
+		conf:       conf,
+		jobs:       make(map[int]*Job),
+		nextID:     1,
+		workloads:  make(map[string]Workload),
+		fallback:   SleepWorkload{Label: "unknown", D: time.Minute},
+		acct:       &Accounting{aggregateOnly: cfg.aggregate},
+		policy:     FIFOPolicy{},
+		usage:      make(map[uint32]float64),
+		aggregate:  cfg.aggregate,
+		partByName: make(map[string]*partition),
+	}
+	if cfg.policy != nil {
+		c.policy = cfg.policy
+	}
+	if cfg.fallback != nil {
+		c.fallback = cfg.fallback
+	}
+	for _, w := range cfg.workloads {
+		c.workloads[w.binaryPath] = w.workload
+	}
+
+	for i := range conf.Partitions {
+		p := &partition{name: conf.Partitions[i].Name, conf: conf.Partitions[i]}
+		p.setPolicy(c.policy)
+		if _, dup := c.partByName[p.name]; dup {
+			return nil, fmt.Errorf("slurm: duplicate partition %q in configuration", p.name)
+		}
+		c.parts = append(c.parts, p)
+		c.partByName[p.name] = p
+	}
+	for _, pp := range cfg.partPolicies {
+		p, ok := c.partByName[pp.partition]
+		if !ok {
+			return nil, fmt.Errorf("slurm: WithPartitionPolicy names unknown partition %q", pp.partition)
+		}
+		p.setPolicy(pp.policy)
+	}
+
+	seen := make(map[string]bool, len(cfg.shared))
+	addNode := func(n *hw.Node, parts []*partition) error {
+		name := n.Spec().Name
+		if seen[name] {
+			return fmt.Errorf("slurm: duplicate node name %q", name)
+		}
+		seen[name] = true
+		nd := &nodeD{name: name, idx: len(c.nodes), hw: n, free: true}
+		c.nodes = append(c.nodes, nd)
+		for _, p := range parts {
+			p.addNode(nd)
+			heap.Push(&p.freeHeap, nd)
+		}
+		return nil
+	}
+	for _, n := range cfg.shared {
+		if err := addNode(n, c.parts); err != nil {
+			return nil, err
+		}
+	}
+	for _, pn := range cfg.partNodes {
+		p, ok := c.partByName[pn.partition]
+		if !ok {
+			return nil, fmt.Errorf("slurm: WithPartitionNodes names unknown partition %q", pn.partition)
+		}
+		for _, n := range pn.nodes {
+			if err := addNode(n, []*partition{p}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, p := range c.parts {
+		if len(p.nodes) == 0 {
+			return nil, fmt.Errorf("slurm: partition %q has no nodes", p.name)
+		}
+	}
+
+	c.metrics = cfg.metrics
+	c.tracer = cfg.tracer
+	c.cacheMetrics()
+	return c, nil
+}

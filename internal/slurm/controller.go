@@ -1,6 +1,7 @@
 package slurm
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/simclock"
 	"ecosched/internal/trace"
+	"ecosched/internal/workload"
 )
 
 // Metric, span, and event names (ecolint/metricname: package-level
@@ -33,7 +35,10 @@ const (
 
 // Workload models what a job's executable does on a node: how long it
 // runs in a given configuration and at what sustained throughput. The
-// controller resolves workloads by the job's binary path.
+// controller resolves workloads from the description's Shape when set,
+// falling back to the registry keyed by the job's binary path.
+// workload.Shape satisfies this contract, and is the one description
+// type generated, replayed and hand-built jobs share.
 type Workload interface {
 	Name() string
 	// Plan returns (runtime, sustained GFLOPS) for the configuration
@@ -43,6 +48,9 @@ type Workload interface {
 
 // FixedWorkWorkload is a job with a fixed FLOP budget — the HPCG
 // evaluation jobs: runtime = work / throughput(config).
+//
+// Deprecated: use workload.FixedWork, the unified job-shape
+// vocabulary. This wrapper delegates to it.
 type FixedWorkWorkload struct {
 	Label string
 	GFLOP float64
@@ -53,14 +61,13 @@ func (w FixedWorkWorkload) Name() string { return w.Label }
 
 // Plan implements Workload.
 func (w FixedWorkWorkload) Plan(node *hw.Node, cfg perfmodel.Config) (time.Duration, float64) {
-	g := node.Calibration().GFLOPS(cfg)
-	if g <= 0 {
-		return 0, 0
-	}
-	return time.Duration(w.GFLOP / g * float64(time.Second)), g
+	return workload.FixedWork(w.Label, w.GFLOP).Plan(node, cfg)
 }
 
 // SleepWorkload runs for a fixed duration regardless of configuration.
+//
+// Deprecated: use workload.Sleep, the unified job-shape vocabulary.
+// This wrapper delegates to it.
 type SleepWorkload struct {
 	Label string
 	D     time.Duration
@@ -70,7 +77,9 @@ type SleepWorkload struct {
 func (w SleepWorkload) Name() string { return w.Label }
 
 // Plan implements Workload.
-func (w SleepWorkload) Plan(*hw.Node, perfmodel.Config) (time.Duration, float64) { return w.D, 0 }
+func (w SleepWorkload) Plan(node *hw.Node, cfg perfmodel.Config) (time.Duration, float64) {
+	return workload.Sleep(w.Label, w.D).Plan(node, cfg)
+}
 
 // NodeInfo is one sinfo row.
 type NodeInfo struct {
@@ -83,10 +92,17 @@ type NodeInfo struct {
 // nodeD is a slurmd: the per-node daemon owning the hardware.
 type nodeD struct {
 	name    string
+	idx     int // construction index; the first-fit placement order
 	hw      *hw.Node
 	current *Job
 	hwJob   *hw.Job
 	drained bool
+	// free marks the node idle, undrained, and listed in its
+	// partitions' free heaps. A shared node claimed through one
+	// partition clears it; the other heaps discard their stale
+	// entries lazily.
+	free  bool
+	parts []*partition
 	// Governor state saved while a --cpu-freq job pins userspace.
 	savedGovernor hw.GovernorKind
 	pinned        bool
@@ -118,51 +134,67 @@ func (n *nodeD) unpinFrequency() {
 
 // Controller is the simulated slurmctld.
 type Controller struct {
-	sim       *simclock.Sim
-	conf      Conf
-	nodes     []*nodeD
-	plugins   []SubmitPlugin
-	jobs      map[int]*Job
-	pending   []*Job
-	nextID    int
-	workloads map[string]Workload
-	fallback  Workload
-	acct      *Accounting
-	onDone    []func(*Job)
-	policy    SchedulingPolicy
-	usage     map[uint32]float64 // user id → consumed CPU-seconds
-	metrics   *metrics.Registry  // nil = unobserved
-	tracer    *trace.Tracer      // nil = untraced
+	sim        *simclock.Sim
+	conf       Conf
+	nodes      []*nodeD
+	parts      []*partition
+	partByName map[string]*partition
+	plugins    []SubmitPlugin
+	jobs       map[int]*Job
+	nextID     int
+	workloads  map[string]Workload
+	fallback   Workload
+	acct       *Accounting
+	onDone     []func(*Job)
+	policy     SchedulingPolicy
+	usage      map[uint32]float64 // user id → consumed CPU-seconds
+	metrics    *metrics.Registry  // nil = unobserved
+	tracer     *trace.Tracer      // nil = untraced
+	// aggregate retires terminal jobs from memory (see
+	// WithAggregateAccounting); retired keeps their final states by id
+	// so dependency resolution still works after retirement.
+	aggregate bool
+	retired   []JobState
+	// depPending counts queued jobs with afterok dependencies: while
+	// non-zero, any job completion reschedules every partition, since
+	// the dependent may be queued far from the freed node.
+	depPending int
+
+	// Cached metric handles (nil-safe; refreshed by SetMetrics) so the
+	// event loop skips the registry's map lookups.
+	mSubmitted *metrics.Counter
+	mRejected  *metrics.Counter
+	mCompleted *metrics.Counter
+	mFailed    *metrics.Counter
+	mCancelled *metrics.Counter
+	mOverruns  *metrics.Counter
 }
 
 // NewController builds a controller over the given nodes with the
-// given configuration. Submit plugins named in conf.JobSubmitPlugins
-// must be registered with RegisterPlugin before the first submission.
+// given configuration, all partitions sharing the node pool.
+//
+// Deprecated: use NewCluster, which scales to per-partition pools and
+// policies; this wrapper is equivalent to
+// NewCluster(sim, conf, WithNodes(nodes...)).
 func NewController(sim *simclock.Sim, conf Conf, nodes ...*hw.Node) (*Controller, error) {
-	if len(nodes) == 0 {
-		return nil, fmt.Errorf("slurm: controller needs at least one node")
+	return NewCluster(sim, conf, WithNodes(nodes...))
+}
+
+// cacheMetrics resolves the controller's metric handles against the
+// current registry (all nil when unobserved — the types are nil-safe).
+func (c *Controller) cacheMetrics() {
+	c.mSubmitted = c.metrics.Counter(metricJobsSubmitted)
+	c.mRejected = c.metrics.Counter(metricJobsRejected)
+	c.mCompleted = c.metrics.Counter(metricJobsCompleted)
+	c.mFailed = c.metrics.Counter(metricJobsFailed)
+	c.mCancelled = c.metrics.Counter(metricJobsCancelled)
+	c.mOverruns = c.metrics.Counter(metricBudgetOverruns)
+	for _, p := range c.parts {
+		p.queueGauge = c.metrics.Gauge(metricPartQueuePrefix + p.name)
+		p.occGauge = c.metrics.Gauge(metricPartOccPrefix + p.name)
+		p.energyGauge = c.metrics.Gauge(metricPartEnergyPrefix + p.name)
+		p.doneCount = c.metrics.Counter(metricPartDonePrefix + p.name)
 	}
-	c := &Controller{
-		sim:       sim,
-		conf:      conf,
-		jobs:      make(map[int]*Job),
-		nextID:    1,
-		workloads: make(map[string]Workload),
-		fallback:  SleepWorkload{Label: "unknown", D: time.Minute},
-		acct:      &Accounting{},
-		policy:    FIFOPolicy{},
-		usage:     make(map[uint32]float64),
-	}
-	seen := map[string]bool{}
-	for _, n := range nodes {
-		name := n.Spec().Name
-		if seen[name] {
-			return nil, fmt.Errorf("slurm: duplicate node name %q", name)
-		}
-		seen[name] = true
-		c.nodes = append(c.nodes, &nodeD{name: name, hw: n})
-	}
-	return c, nil
 }
 
 // RegisterPlugin registers a submit plugin implementation. Only
@@ -181,19 +213,29 @@ func (c *Controller) RegisterWorkload(binaryPath string, w Workload) {
 // SetFallbackWorkload sets the workload used for unknown binaries.
 func (c *Controller) SetFallbackWorkload(w Workload) { c.fallback = w }
 
-// SetPolicy selects the scheduling policy (default FIFO).
-func (c *Controller) SetPolicy(p SchedulingPolicy) { c.policy = p }
+// SetPolicy selects the scheduling policy for every partition
+// (default FIFO). Use WithPartitionPolicy at construction for
+// per-partition policies.
+func (c *Controller) SetPolicy(p SchedulingPolicy) {
+	c.policy = p
+	for _, part := range c.parts {
+		part.setPolicy(p)
+	}
+}
 
 // SetMetrics attaches an observability registry; nil (the default)
 // disables instrumentation.
-func (c *Controller) SetMetrics(r *metrics.Registry) { c.metrics = r }
+func (c *Controller) SetMetrics(r *metrics.Registry) {
+	c.metrics = r
+	c.cacheMetrics()
+}
 
 // SetTracer attaches a decision tracer; nil (the default) disables
 // tracing. Every submission then produces one trace (the plugin chain
 // nests under it) and job lifecycle transitions become journal events.
 func (c *Controller) SetTracer(t *trace.Tracer) { c.tracer = t }
 
-// Policy returns the active scheduling policy.
+// Policy returns the cluster-default scheduling policy.
 func (c *Controller) Policy() SchedulingPolicy { return c.policy }
 
 // UserUsageCPUSeconds reports a user's accumulated CPU-seconds, the
@@ -207,6 +249,14 @@ func (c *Controller) Accounting() *Accounting { return c.acct }
 // terminal state.
 func (c *Controller) OnCompletion(fn func(*Job)) {
 	c.onDone = append(c.onDone, fn)
+}
+
+// QueueDepth reports the pending-queue length of one partition.
+func (c *Controller) QueueDepth(partition string) int {
+	if p, ok := c.partByName[partition]; ok {
+		return len(p.pending)
+	}
+	return 0
 }
 
 // activePlugins returns the registered plugins enabled by slurm.conf,
@@ -257,33 +307,29 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 	if desc.IsArray() {
 		return nil, fmt.Errorf("slurm: array description submitted directly; use SubmitArray")
 	}
-	c.metrics.Counter(metricJobsSubmitted).Inc()
+	c.mSubmitted.Inc()
 	plugins, err := c.activePlugins()
 	if err != nil {
 		return nil, err
 	}
 	var pluginTime time.Duration
 	for _, p := range plugins {
-		var lat time.Duration
-		var err error
-		if cp, ok := p.(CtxSubmitPlugin); ok {
-			lat, err = cp.JobSubmitCtx(ctx, &desc, desc.UserID)
-		} else {
-			lat, err = p.JobSubmit(&desc, desc.UserID)
-		}
+		lat, err := p.JobSubmit(ctx, &desc, desc.UserID)
 		pluginTime += lat
 		if err != nil {
-			c.metrics.Counter(metricJobsRejected).Inc()
+			c.mRejected.Inc()
 			return nil, fmt.Errorf("slurm: plugin %s rejected job: %w", p.Name(), err)
 		}
 		if pluginTime > c.conf.PluginBudget {
-			c.metrics.Counter(metricJobsRejected).Inc()
-			c.metrics.Counter(metricBudgetOverruns).Inc()
+			c.mRejected.Inc()
+			c.mOverruns.Inc()
 			return nil, fmt.Errorf("slurm: plugin %s exceeded the submit budget (%v > %v)",
 				p.Name(), pluginTime, c.conf.PluginBudget)
 		}
 	}
 	if len(plugins) > 0 {
+		// Looked up lazily: registering the histogram before any
+		// observation would poison snapshots with NaN percentiles.
 		c.metrics.Histogram(metricChainLatency).ObserveDuration(pluginTime)
 		if s := trace.FromContext(ctx); s != nil {
 			s.SetAttr("plugin_sim_latency", pluginTime.String())
@@ -304,18 +350,18 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 	if desc.Partition == "" {
 		desc.Partition = c.conf.DefaultPartition().Name
 	}
-	part, ok := c.conf.FindPartition(desc.Partition)
+	part, ok := c.partByName[desc.Partition]
 	if !ok {
 		return nil, fmt.Errorf("slurm: invalid partition specified: %s", desc.Partition)
 	}
-	if part.MaxTime > 0 && desc.TimeLimit > part.MaxTime {
-		desc.TimeLimit = part.MaxTime
+	if part.conf.MaxTime > 0 && desc.TimeLimit > part.conf.MaxTime {
+		desc.TimeLimit = part.conf.MaxTime
 	}
-	if err := c.fits(desc); err != nil {
+	if err := part.fits(desc); err != nil {
 		return nil, err
 	}
 	for _, dep := range desc.AfterOK {
-		if _, ok := c.jobs[dep]; !ok {
+		if _, ok := c.jobState(dep); !ok {
 			return nil, fmt.Errorf("slurm: dependency on unknown job %d", dep)
 		}
 	}
@@ -326,11 +372,15 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 		State:      StatePending,
 		Reason:     "Priority",
 		SubmitTime: c.sim.Now(),
+		part:       part,
 	}
 	c.nextID++
 	c.jobs[job.ID] = job
-	c.pending = append(c.pending, job)
-	c.schedule()
+	part.pending = append(part.pending, job)
+	if len(desc.AfterOK) > 0 {
+		c.depPending++
+	}
+	c.schedulePart(part)
 	return job, nil
 }
 
@@ -391,10 +441,14 @@ func (c *Controller) WaitForAll(ids []int) error {
 	return nil
 }
 
-// fits checks the request against the largest node.
-func (c *Controller) fits(desc JobDesc) error {
-	for _, n := range c.nodes {
-		if nodeSatisfies(n, desc) {
+// fits checks the request against the partition's node capability
+// classes (one entry per distinct node shape, so the common
+// homogeneous pool checks one).
+func (p *partition) fits(desc JobDesc) error {
+	for _, spec := range p.classes {
+		if desc.NumTasks <= spec.Cores &&
+			desc.ThreadsPerCPU <= spec.ThreadsPerCore &&
+			desc.MemoryMB <= spec.RAMGB*1024 {
 			return nil
 		}
 	}
@@ -409,40 +463,81 @@ func nodeSatisfies(n *nodeD, desc JobDesc) bool {
 		desc.MemoryMB <= spec.RAMGB*1024
 }
 
-// schedule places pending jobs onto idle nodes in policy order.
-func (c *Controller) schedule() {
+// scheduleAll runs a scheduling pass over every partition in
+// configuration order.
+func (c *Controller) scheduleAll() {
+	for _, p := range c.parts {
+		c.schedulePart(p)
+	}
+}
+
+// schedulePart places the partition's pending jobs onto idle nodes in
+// policy order.
+func (c *Controller) schedulePart(p *partition) {
+	if len(p.pending) == 0 {
+		return
+	}
 	now := c.sim.Now()
+	if p.freeHeap.Len() == 0 && p.busy > 0 {
+		// Hot path at scale: every node busy, so nothing can start
+		// before this partition's next job-end event, which reschedules
+		// it. Tag fresh arrivals with the visible squeue reason and
+		// skip the full pass.
+		for i := len(p.pending) - 1; i >= 0 && p.pending[i].Reason == "Priority"; i-- {
+			p.pending[i].Reason = "Resources"
+		}
+		p.queueGauge.Set(float64(len(p.pending)))
+		return
+	}
 	_, span := c.tracer.Start(context.Background(), spanSchedule)
 	if span != nil {
-		span.SetAttr("pending", strconv.Itoa(len(c.pending)))
+		span.SetAttr("partition", p.name)
+		span.SetAttr("pending", strconv.Itoa(len(p.pending)))
 		defer func() { span.End(nil) }()
 	}
-	c.policy.Order(c.pending, now, c.usage)
-	remaining := c.pending[:0]
-	for _, job := range c.pending {
+	if !p.fifo {
+		p.policy.Order(p.pending, now, c.usage)
+	}
+	remaining := p.pending[:0]
+	for i, job := range p.pending {
+		if p.freeHeap.Len() == 0 {
+			// Every node claimed mid-pass: nothing below can start, so
+			// keep the tail queued wholesale instead of probing each
+			// job — the pass cost stays bounded by placements made, not
+			// by backlog depth. Deferred dependency/begin-time handling
+			// happens when the next node frees.
+			rest := p.pending[i:]
+			for k := len(rest) - 1; k >= 0 && rest[k].Reason == "Priority"; k-- {
+				rest[k].Reason = "Resources"
+			}
+			remaining = append(remaining, rest...)
+			break
+		}
 		if job.State != StatePending {
 			continue
 		}
-		switch c.dependencyState(job) {
-		case depFailed:
-			job.State = StateCancelled
-			job.Reason = "DependencyNeverSatisfied"
-			job.EndTime = now
-			c.finish(job)
-			continue
-		case depWaiting:
-			job.Reason = "Dependency"
-			remaining = append(remaining, job)
-			continue
+		if len(job.Desc.AfterOK) > 0 {
+			switch c.dependencyState(job) {
+			case depFailed:
+				job.State = StateCancelled
+				job.Reason = "DependencyNeverSatisfied"
+				job.EndTime = now
+				c.finish(job)
+				continue
+			case depWaiting:
+				job.Reason = "Dependency"
+				remaining = append(remaining, job)
+				continue
+			}
 		}
 		if !job.Desc.BeginTime.IsZero() && job.Desc.BeginTime.After(now) {
 			job.Reason = "BeginTime"
-			// Wake up when the job becomes eligible.
-			c.sim.At(job.Desc.BeginTime, c.schedule)
+			// Wake this partition up when the job becomes eligible.
+			c.sim.At(job.Desc.BeginTime, func() { c.schedulePart(p) })
 			remaining = append(remaining, job)
 			continue
 		}
-		node := c.idleNodeFor(job.Desc)
+		node := p.takeIdle(job.Desc)
 		if node == nil {
 			job.Reason = "Resources"
 			remaining = append(remaining, job)
@@ -455,30 +550,64 @@ func (c *Controller) schedule() {
 			c.finish(job)
 		}
 	}
-	c.pending = remaining
+	p.pending = remaining
+	p.queueGauge.Set(float64(len(p.pending)))
 }
 
-func (c *Controller) idleNodeFor(desc JobDesc) *nodeD {
-	for _, n := range c.nodes {
-		if n.current != nil || n.drained {
-			continue
-		}
-		if nodeSatisfies(n, desc) {
-			return n
-		}
+// claimNode books a started job onto the node across every partition
+// sharing it.
+func (c *Controller) claimNode(n *nodeD, job *Job) {
+	n.current = job
+	job.node = n
+	for _, p := range n.parts {
+		p.busy++
+		p.occGauge.Set(float64(p.busy) / float64(len(p.nodes)))
 	}
-	return nil
+}
+
+// releaseNode frees a node at job end or cancellation and relists it
+// in its partitions' free heaps.
+func (c *Controller) releaseNode(n *nodeD) {
+	if n.current != nil {
+		n.current.node = nil
+	}
+	n.current = nil
+	n.hwJob = nil
+	for _, p := range n.parts {
+		p.busy--
+		p.occGauge.Set(float64(p.busy) / float64(len(p.nodes)))
+	}
+	c.refreeNode(n)
+}
+
+// refreeNode relists an idle node (claimed but never started, or just
+// released) in its partitions' free heaps.
+func (c *Controller) refreeNode(n *nodeD) {
+	if n.drained || n.free || n.current != nil {
+		return
+	}
+	n.free = true
+	for _, p := range n.parts {
+		heap.Push(&p.freeHeap, n)
+	}
 }
 
 func (c *Controller) start(job *Job, node *nodeD) error {
 	cfg := job.Desc.Config()
-	w, ok := c.workloads[job.Desc.BinaryPath]
-	if !ok {
-		w = c.fallback
+	var w Workload
+	switch {
+	case job.Desc.Shape != nil:
+		w = *job.Desc.Shape
+	default:
+		var ok bool
+		if w, ok = c.workloads[job.Desc.BinaryPath]; !ok {
+			w = c.fallback
+		}
 	}
 
 	hwJob, err := node.hw.StartJob(cfg)
 	if err != nil {
+		c.refreeNode(node)
 		return err
 	}
 	// Record the frequency the job actually runs at: a job without
@@ -491,6 +620,7 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 		// sysfs and telemetry reflect the pinned frequency.
 		if err := node.pinFrequency(hwJob.Config.FreqKHz); err != nil {
 			hwJob.End()
+			c.refreeNode(node)
 			return err
 		}
 	}
@@ -501,6 +631,8 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	// cancelled rather than run uselessly.
 	if !job.Desc.Deadline.IsZero() && now.Add(duration).After(job.Desc.Deadline) {
 		hwJob.End()
+		node.unpinFrequency()
+		c.refreeNode(node)
 		job.State = StateCancelled
 		job.Reason = "DeadlineUnsatisfiable"
 		job.EndTime = now
@@ -518,7 +650,7 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	job.StartTime = now
 	job.NodeName = node.name
 	job.GFLOPS = gflops
-	node.current = job
+	c.claimNode(node, job)
 	node.hwJob = hwJob
 	if c.tracer != nil {
 		c.tracer.Event(eventJobStart, map[string]string{
@@ -547,10 +679,17 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 		} else {
 			job.State = StateCompleted
 		}
-		node.current = nil
-		node.hwJob = nil
+		c.releaseNode(node)
 		c.finish(job)
-		c.schedule()
+		if c.depPending > 0 {
+			// A queued dependent may live in any partition; wake them
+			// all so cross-partition dependency chains resolve.
+			c.scheduleAll()
+		} else {
+			for _, p := range node.parts {
+				c.schedulePart(p)
+			}
+		}
 	})
 	return nil
 }
@@ -561,11 +700,19 @@ func (c *Controller) finish(job *Job) {
 	}
 	switch job.State {
 	case StateCompleted:
-		c.metrics.Counter(metricJobsCompleted).Inc()
+		c.mCompleted.Inc()
 	case StateFailed:
-		c.metrics.Counter(metricJobsFailed).Inc()
+		c.mFailed.Inc()
 	case StateCancelled:
-		c.metrics.Counter(metricJobsCancelled).Inc()
+		c.mCancelled.Inc()
+	}
+	if p := job.part; p != nil {
+		if job.State == StateCompleted {
+			p.doneCount.Inc()
+		}
+		if job.SystemJ > 0 {
+			p.energyGauge.Add(job.SystemJ / 1000)
+		}
 	}
 	if c.tracer != nil {
 		attrs := map[string]string{
@@ -585,6 +732,35 @@ func (c *Controller) finish(job *Job) {
 	for _, fn := range c.onDone {
 		fn(job)
 	}
+	if len(job.Desc.AfterOK) > 0 {
+		c.depPending--
+	}
+	if c.aggregate {
+		c.retire(job)
+	}
+}
+
+// retire drops a terminal job from the live map, keeping only its
+// final state for dependency resolution — the memory bound that lets
+// a run absorb millions of submissions.
+func (c *Controller) retire(job *Job) {
+	delete(c.jobs, job.ID)
+	for len(c.retired) <= job.ID {
+		c.retired = append(c.retired, "")
+	}
+	c.retired[job.ID] = job.State
+}
+
+// jobState resolves a job's current state by id, consulting retired
+// jobs as well as live ones.
+func (c *Controller) jobState(id int) (JobState, bool) {
+	if j, ok := c.jobs[id]; ok {
+		return j.State, true
+	}
+	if id > 0 && id < len(c.retired) && c.retired[id] != "" {
+		return c.retired[id], true
+	}
+	return "", false
 }
 
 // Cancel is scancel: terminate a pending or running job.
@@ -596,26 +772,32 @@ func (c *Controller) Cancel(id int) error {
 	if job.State.Terminal() {
 		return fmt.Errorf("slurm: job %d already %s", id, job.State)
 	}
-	if job.State == StateRunning {
-		for _, n := range c.nodes {
-			if n.current == job {
-				n.hwJob.End()
-				n.unpinFrequency()
-				n.current = nil
-				n.hwJob = nil
-				break
-			}
-		}
+	freed := (*nodeD)(nil)
+	if job.State == StateRunning && job.node != nil {
+		freed = job.node
+		freed.hwJob.End()
+		freed.unpinFrequency()
+		c.releaseNode(freed)
 	}
 	job.State = StateCancelled
 	job.Reason = "Cancelled by user"
 	job.EndTime = c.sim.Now()
 	c.finish(job)
-	c.schedule()
+	switch {
+	case c.depPending > 0:
+		c.scheduleAll()
+	case freed != nil:
+		for _, p := range freed.parts {
+			c.schedulePart(p)
+		}
+	case job.part != nil:
+		c.schedulePart(job.part)
+	}
 	return nil
 }
 
-// Job returns a job by id.
+// Job returns a job by id. Retired jobs (aggregate accounting) are
+// not returned.
 func (c *Controller) Job(id int) (*Job, bool) {
 	j, ok := c.jobs[id]
 	return j, ok
@@ -670,16 +852,24 @@ func (c *Controller) ResumeNode(name string) error {
 	if err := c.setDrain(name, false); err != nil {
 		return err
 	}
-	c.schedule()
+	c.scheduleAll()
 	return nil
 }
 
 func (c *Controller) setDrain(name string, drained bool) error {
 	for _, n := range c.nodes {
-		if n.name == name {
-			n.drained = drained
-			return nil
+		if n.name != name {
+			continue
 		}
+		n.drained = drained
+		if drained {
+			// Idle drained nodes leave the free pool; busy ones stay
+			// claimed and simply never return to it while drained.
+			n.free = false
+		} else {
+			c.refreeNode(n)
+		}
+		return nil
 	}
 	return fmt.Errorf("slurm: no node %q", name)
 }
@@ -740,14 +930,14 @@ const (
 func (c *Controller) dependencyState(job *Job) depState {
 	state := depReady
 	for _, dep := range job.Desc.AfterOK {
-		d, ok := c.jobs[dep]
+		st, ok := c.jobState(dep)
 		if !ok {
 			return depFailed
 		}
 		switch {
-		case d.State == StateCompleted:
+		case st == StateCompleted:
 			// satisfied
-		case d.State.Terminal():
+		case st.Terminal():
 			return depFailed
 		default:
 			state = depWaiting

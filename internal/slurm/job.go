@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ecosched/internal/perfmodel"
+	"ecosched/internal/workload"
 )
 
 // JobState is the lifecycle state of a job, mirroring Slurm's.
@@ -74,6 +75,10 @@ type JobDesc struct {
 	// If any listed job fails or is cancelled, this job is cancelled
 	// with reason DependencyNeverSatisfied, as Slurm does.
 	AfterOK []int
+	// Shape, when set, describes the job's behaviour directly in the
+	// workload vocabulary and takes precedence over the BinaryPath
+	// workload registry. Generated and replayed submissions carry one.
+	Shape *workload.Shape
 }
 
 // IsArray reports whether the description requests an array job.
@@ -105,6 +110,9 @@ type Job struct {
 	SystemJ float64
 	CPUJ    float64
 	GFLOPS  float64 // sustained application throughput during the run
+
+	part *partition // owning partition queue
+	node *nodeD     // allocated node while running
 }
 
 // Runtime returns how long the job ran (so far, if still running is
@@ -123,6 +131,8 @@ func (j *Job) String() string {
 // SubmitPlugin is the job-submit plugin interface — Slurm's
 // job_submit_plugin_t reduced to the one call the eco plugin
 // implements. JobSubmit may rewrite desc before the job is queued.
+// The context carries the submission's decision trace, so a plugin's
+// spans nest under the controller's submit span.
 //
 // The returned duration is the simulated time the plugin spent
 // deciding; the controller enforces its plugin latency budget against
@@ -131,14 +141,28 @@ func (j *Job) String() string {
 // §3.1.2).
 type SubmitPlugin interface {
 	Name() string
+	JobSubmit(ctx context.Context, desc *JobDesc, submitUID uint32) (time.Duration, error)
+}
+
+// LegacySubmitPlugin is the pre-context plugin shape. Wrap one with
+// AdaptLegacyPlugin to register it.
+type LegacySubmitPlugin interface {
+	Name() string
 	JobSubmit(desc *JobDesc, submitUID uint32) (time.Duration, error)
 }
 
-// CtxSubmitPlugin is an optional extension of SubmitPlugin: the
-// controller prefers JobSubmitCtx when a plugin implements it, passing
-// the submission's context so the plugin's decision trace nests under
-// the controller's submit span.
-type CtxSubmitPlugin interface {
-	SubmitPlugin
-	JobSubmitCtx(ctx context.Context, desc *JobDesc, submitUID uint32) (time.Duration, error)
+// AdaptLegacyPlugin lifts a context-free plugin into the SubmitPlugin
+// interface, dropping the context.
+func AdaptLegacyPlugin(p LegacySubmitPlugin) SubmitPlugin {
+	return legacyPlugin{p}
+}
+
+type legacyPlugin struct {
+	p LegacySubmitPlugin
+}
+
+func (l legacyPlugin) Name() string { return l.p.Name() }
+
+func (l legacyPlugin) JobSubmit(_ context.Context, desc *JobDesc, submitUID uint32) (time.Duration, error) {
+	return l.p.JobSubmit(desc, submitUID)
 }

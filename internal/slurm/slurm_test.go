@@ -1,6 +1,7 @@
 package slurm
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -366,7 +367,7 @@ type rewritePlugin struct {
 
 func (*rewritePlugin) Name() string { return "eco" }
 
-func (p *rewritePlugin) JobSubmit(desc *JobDesc, uid uint32) (time.Duration, error) {
+func (p *rewritePlugin) JobSubmit(ctx context.Context, desc *JobDesc, uid uint32) (time.Duration, error) {
 	p.calls++
 	if p.fail {
 		return p.latency, errFail

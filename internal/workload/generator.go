@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"ecosched/internal/simclock"
+)
+
+// Submission is one generated (or replayed) job submission: when it
+// arrives, who submits it, what it asks for, and what its executable
+// does. It carries everything a cluster driver needs to build a job
+// description, so generated, recorded and replayed runs share one
+// vocabulary.
+type Submission struct {
+	// Seq is the submission's position in the merged stream (0-based).
+	Seq int
+	// At is the absolute simulated arrival instant.
+	At        time.Time
+	Client    string
+	JobName   string
+	Partition string // "" = the cluster's default partition
+	Tasks     int
+	// ThreadsPerCPU is the hyper-threading request (0 = 1).
+	ThreadsPerCPU int
+	UserID        uint32
+	// Comment carries the eco plugin's opt-in marker when set.
+	Comment   string
+	TimeLimit time.Duration // 0 = cluster default
+	Shape     Shape
+}
+
+// Source is a stream of time-ordered submissions: the generator for
+// fresh runs, the log reader for replays.
+type Source interface {
+	// Next returns the next submission. ok reports whether one was
+	// produced; err is only non-nil for corrupt replay logs.
+	Next() (s Submission, ok bool, err error)
+}
+
+// OptInComment is the eco plugin's submission opt-in marker,
+// duplicated here (internal/ecoplugin imports internal/slurm, which
+// imports this package) and cross-checked by a test.
+const OptInComment = "chronus"
+
+// Generator merges the spec's client streams into one time-ordered,
+// fully deterministic submission sequence. It is pull-based and O(1)
+// in memory: each Next() samples exactly one submission.
+type Generator struct {
+	spec    Spec
+	horizon time.Time
+	clients []*clientState
+	seq     int
+}
+
+type clientState struct {
+	spec Client
+	rng  *simclock.RNG
+	next time.Time
+	done bool
+	// interMeanS is the flat mean interarrival gap in seconds.
+	interMeanS float64
+	// scale is the precomputed gamma/weibull scale parameter that
+	// yields the requested mean rate at the configured shape.
+	scale   float64
+	userLo  uint32
+	userN   int
+	jobSeq  int
+	nameBuf []byte
+}
+
+// NewGenerator builds a generator for the spec, with submissions
+// starting after the given simulated start instant (normally
+// simclock.Epoch).
+func NewGenerator(spec Spec, start time.Time) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{spec: spec, horizon: start.Add(spec.Horizon.Std())}
+	for i, cs := range spec.Clients {
+		// Each client owns an RNG derived from (seed, client index), so
+		// client streams are independent: editing one client's spec
+		// never shifts another's samples.
+		st := &clientState{
+			spec:       cs,
+			rng:        simclock.NewRNG(spec.Seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))),
+			interMeanS: 3600 / cs.Arrival.RatePerHour,
+			userLo:     uint32(1000 * (i + 1)),
+			userN:      cs.Users,
+		}
+		if st.userN <= 0 {
+			st.userN = 1
+		}
+		switch cs.Arrival.Process {
+		case ArrivalGamma:
+			st.scale = st.interMeanS / cs.Arrival.Shape
+		case ArrivalWeibull:
+			st.scale = st.interMeanS / math.Gamma(1+1/cs.Arrival.Shape)
+		}
+		st.next = start.Add(st.gap(start))
+		if !st.next.Before(g.horizon) {
+			st.done = true
+		}
+		g.clients = append(g.clients, st)
+	}
+	return g, nil
+}
+
+// Spec returns the generating spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Next implements Source: the earliest pending client arrival, ties
+// broken by client order.
+func (g *Generator) Next() (Submission, bool, error) {
+	if g.spec.MaxSubmissions > 0 && g.seq >= g.spec.MaxSubmissions {
+		return Submission{}, false, nil
+	}
+	var pick *clientState
+	for _, st := range g.clients {
+		if st.done {
+			continue
+		}
+		if pick == nil || st.next.Before(pick.next) {
+			pick = st
+		}
+	}
+	if pick == nil {
+		return Submission{}, false, nil
+	}
+	s := pick.sample(g.seq)
+	g.seq++
+	// Advance the client to its next arrival.
+	pick.next = pick.next.Add(pick.gap(pick.next))
+	if !pick.next.Before(g.horizon) {
+		pick.done = true
+	}
+	return s, true, nil
+}
+
+// gap samples the next interarrival gap at the given instant,
+// applying the diurnal window weight in effect (rate modulation: a
+// 2× window halves the sampled gap).
+func (st *clientState) gap(now time.Time) time.Duration {
+	var raw float64
+	switch st.spec.Arrival.Process {
+	case ArrivalGamma:
+		raw = Gamma(st.rng, st.spec.Arrival.Shape, st.scale)
+	case ArrivalWeibull:
+		raw = Weibull(st.rng, st.spec.Arrival.Shape, st.scale)
+	default: // poisson
+		raw = Exponential(st.rng, st.interMeanS)
+	}
+	if w := st.weight(now.UTC().Hour()); w != 1 {
+		raw /= w
+	}
+	if raw < 1e-6 {
+		raw = 1e-6 // keep the stream strictly advancing
+	}
+	return time.Duration(raw * float64(time.Second))
+}
+
+func (st *clientState) weight(hour int) float64 {
+	for _, w := range st.spec.Windows {
+		if hour >= w.FromHour && hour < w.ToHour {
+			return w.Weight
+		}
+	}
+	return 1
+}
+
+// sample draws one submission. The draw order below is fixed: it is
+// part of the log format's determinism contract (same spec + seed →
+// byte-identical submission log).
+func (st *clientState) sample(seq int) Submission {
+	j := st.spec.Jobs
+	s := Submission{
+		Seq:           seq,
+		At:            st.next,
+		Client:        st.spec.Name,
+		ThreadsPerCPU: j.ThreadsPerCPU,
+	}
+	// 1. shape kind
+	sleep := false
+	switch {
+	case j.SleepFraction >= 1:
+		sleep = true
+	case j.SleepFraction > 0:
+		sleep = st.rng.Float64() < j.SleepFraction
+	}
+	// 2. shape size
+	if sleep {
+		d := j.Sleep.Sample(st.rng)
+		if d < 0.001 {
+			d = 0.001
+		}
+		s.Shape = Sleep(st.spec.Name+"-sleep", time.Duration(d*float64(time.Second)))
+	} else {
+		w := j.Work.Sample(st.rng)
+		if w < 0.001 {
+			w = 0.001
+		}
+		s.Shape = FixedWork(st.spec.Name+"-work", w)
+	}
+	// 3. tasks
+	s.Tasks = 1
+	if !j.Tasks.IsZero() {
+		if t := int(j.Tasks.Sample(st.rng) + 0.5); t > 1 {
+			s.Tasks = t
+		}
+	}
+	// 4. time limit
+	if !j.TimeLimit.IsZero() {
+		if tl := j.TimeLimit.Sample(st.rng); tl > 0 {
+			s.TimeLimit = time.Duration(tl * float64(time.Second))
+		}
+	}
+	// 5. partition
+	if len(j.Partitions) > 0 {
+		s.Partition = choosePartition(st.rng, j.Partitions)
+	}
+	// 6. opt-in
+	if j.OptInFraction > 0 && st.rng.Float64() < j.OptInFraction {
+		s.Comment = OptInComment
+	}
+	// 7. user
+	s.UserID = st.userLo
+	if st.userN > 1 {
+		s.UserID += uint32(st.rng.Intn(st.userN))
+	}
+	st.jobSeq++
+	st.nameBuf = append(st.nameBuf[:0], st.spec.Name...)
+	st.nameBuf = append(st.nameBuf, '-')
+	st.nameBuf = strconv.AppendInt(st.nameBuf, int64(st.jobSeq), 10)
+	s.JobName = string(st.nameBuf)
+	return s
+}
+
+func choosePartition(r *simclock.RNG, parts []PartitionWeight) string {
+	total := 0.0
+	for _, p := range parts {
+		total += p.Weight
+	}
+	u := r.Float64() * total
+	for _, p := range parts {
+		u -= p.Weight
+		if u < 0 {
+			return p.Name
+		}
+	}
+	return parts[len(parts)-1].Name
+}

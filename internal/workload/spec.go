@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SpecVersion is the current spec/log format version. Parsers reject
+// other versions rather than guessing.
+const SpecVersion = 1
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("90s", "1h30m") so specs stay human-editable.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler: a duration string, or a
+// bare number of seconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("workload: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(data, &secs); err != nil {
+		return fmt.Errorf("workload: duration must be a string or seconds number, got %s", data)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Spec is a declarative cluster-scale workload: the cluster topology
+// to simulate and the client population submitting to it. A (Spec,
+// Seed) pair fully determines the generated submission stream.
+type Spec struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	// Seed drives every sampling decision. Each client derives its own
+	// RNG from (Seed, client index), so adding a client never perturbs
+	// the other clients' streams.
+	Seed uint64 `json:"seed"`
+	// Horizon bounds generation: no submission is generated at or past
+	// start+Horizon (jobs already queued still complete).
+	Horizon Duration `json:"horizon"`
+	// MaxSubmissions caps the total generated submissions across all
+	// clients (0 = unbounded, the horizon is the only stop).
+	MaxSubmissions int         `json:"max_submissions,omitempty"`
+	Cluster        ClusterSpec `json:"cluster"`
+	Clients        []Client    `json:"clients"`
+}
+
+// ClusterSpec describes the simulated cluster to build.
+type ClusterSpec struct {
+	Partitions []PartitionSpec `json:"partitions"`
+}
+
+// PartitionSpec is one partition and its dedicated nodes.
+type PartitionSpec struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	// Policy selects the scheduling policy: "fifo" (default) or
+	// "multifactor".
+	Policy string `json:"policy,omitempty"`
+	// MaxTime caps job time limits in this partition (0 = unlimited).
+	MaxTime Duration `json:"max_time,omitempty"`
+	// Default marks the partition jobs land in when they name none.
+	// When no partition is marked, the first one is the default.
+	Default bool `json:"default,omitempty"`
+}
+
+// Client is one submitting population: an arrival process, optional
+// diurnal modulation, and the distribution of job shapes it submits.
+type Client struct {
+	Name    string      `json:"name"`
+	Arrival ArrivalSpec `json:"arrival"`
+	// Windows modulate the arrival rate by hour of day (UTC). Hours
+	// not covered by any window run at weight 1.
+	Windows []Window `json:"windows,omitempty"`
+	Jobs    JobSpec  `json:"jobs"`
+	// Users is the number of distinct user ids this client submits as
+	// (default 1); fair-share policies see them as separate users.
+	Users int `json:"users,omitempty"`
+}
+
+// Arrival processes.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalGamma   = "gamma"
+	ArrivalWeibull = "weibull"
+)
+
+// ArrivalSpec is the client's interarrival process. RatePerHour is
+// the mean arrival rate; Shape tunes the interarrival distribution's
+// burstiness for the gamma and weibull processes (1 = exponential;
+// <1 bursty, >1 regular).
+type ArrivalSpec struct {
+	Process     string  `json:"process"`
+	RatePerHour float64 `json:"rate_per_hour"`
+	Shape       float64 `json:"shape,omitempty"`
+}
+
+// Window is one diurnal load window: between FromHour (inclusive) and
+// ToHour (exclusive), UTC, the client's arrival rate is multiplied by
+// Weight.
+type Window struct {
+	FromHour int     `json:"from_hour"`
+	ToHour   int     `json:"to_hour"`
+	Weight   float64 `json:"weight"`
+}
+
+// JobSpec describes the jobs a client submits: the shape mix, the
+// resource request, and where they go.
+type JobSpec struct {
+	// SleepFraction is the probability a job is a fixed-duration sleep
+	// job (sampled from Sleep) instead of a fixed-work job (sampled
+	// from Work). 0 = all fixed-work, 1 = all sleep.
+	SleepFraction float64 `json:"sleep_fraction,omitempty"`
+	// Work is the FLOP budget distribution in GFLOP (fixed-work jobs).
+	Work Dist `json:"work,omitempty"`
+	// Sleep is the runtime distribution in seconds (sleep jobs).
+	Sleep Dist `json:"sleep,omitempty"`
+	// Tasks is the requested-core distribution (samples are rounded
+	// and clamped to >= 1). Unset = 1 task.
+	Tasks Dist `json:"tasks,omitempty"`
+	// ThreadsPerCPU is the hyper-threading request (0 = 1).
+	ThreadsPerCPU int `json:"threads_per_cpu,omitempty"`
+	// TimeLimit is the requested wall-time distribution in seconds
+	// (unset = the cluster default).
+	TimeLimit Dist `json:"time_limit,omitempty"`
+	// Partitions is the weighted choice of target partition. Unset =
+	// the cluster's default partition.
+	Partitions []PartitionWeight `json:"partitions,omitempty"`
+	// OptInFraction is the probability a job carries the eco plugin's
+	// opt-in comment ("chronus").
+	OptInFraction float64 `json:"opt_in_fraction,omitempty"`
+}
+
+// PartitionWeight is one weighted partition-choice entry.
+type PartitionWeight struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadSpec reads and parses a spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Validate checks the spec for structural errors.
+func (s Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("workload: spec version %d, want %d", s.Version, SpecVersion)
+	}
+	if s.Horizon <= 0 {
+		return fmt.Errorf("workload: spec needs a positive horizon")
+	}
+	if s.MaxSubmissions < 0 {
+		return fmt.Errorf("workload: negative max_submissions")
+	}
+	if len(s.Cluster.Partitions) == 0 {
+		return fmt.Errorf("workload: spec needs at least one partition")
+	}
+	parts := map[string]bool{}
+	for i, p := range s.Cluster.Partitions {
+		if p.Name == "" {
+			return fmt.Errorf("workload: partition %d has no name", i)
+		}
+		if parts[p.Name] {
+			return fmt.Errorf("workload: duplicate partition %q", p.Name)
+		}
+		parts[p.Name] = true
+		if p.Nodes <= 0 {
+			return fmt.Errorf("workload: partition %q needs nodes > 0", p.Name)
+		}
+		switch p.Policy {
+		case "", "fifo", "multifactor":
+		default:
+			return fmt.Errorf("workload: partition %q: unknown policy %q", p.Name, p.Policy)
+		}
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("workload: spec needs at least one client")
+	}
+	for i, c := range s.Clients {
+		if c.Name == "" {
+			return fmt.Errorf("workload: client %d has no name", i)
+		}
+		if err := c.validate(parts); err != nil {
+			return fmt.Errorf("workload: client %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+func (c Client) validate(parts map[string]bool) error {
+	switch c.Arrival.Process {
+	case ArrivalPoisson:
+	case ArrivalGamma, ArrivalWeibull:
+		if c.Arrival.Shape <= 0 {
+			return fmt.Errorf("%s arrival needs shape > 0", c.Arrival.Process)
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q", c.Arrival.Process)
+	}
+	if c.Arrival.RatePerHour <= 0 {
+		return fmt.Errorf("arrival needs rate_per_hour > 0")
+	}
+	for _, w := range c.Windows {
+		if w.FromHour < 0 || w.ToHour > 24 || w.FromHour >= w.ToHour {
+			return fmt.Errorf("bad window [%d, %d)", w.FromHour, w.ToHour)
+		}
+		if w.Weight <= 0 {
+			return fmt.Errorf("window weight must be > 0, got %g", w.Weight)
+		}
+	}
+	if c.Users < 0 {
+		return fmt.Errorf("negative users")
+	}
+	j := c.Jobs
+	if j.SleepFraction < 0 || j.SleepFraction > 1 {
+		return fmt.Errorf("sleep_fraction %g outside [0, 1]", j.SleepFraction)
+	}
+	if j.OptInFraction < 0 || j.OptInFraction > 1 {
+		return fmt.Errorf("opt_in_fraction %g outside [0, 1]", j.OptInFraction)
+	}
+	if j.SleepFraction < 1 && j.Work.IsZero() {
+		return fmt.Errorf("fixed-work jobs need a work distribution")
+	}
+	if j.SleepFraction > 0 && j.Sleep.IsZero() {
+		return fmt.Errorf("sleep jobs need a sleep distribution")
+	}
+	for _, d := range []struct {
+		name string
+		d    Dist
+	}{{"work", j.Work}, {"sleep", j.Sleep}, {"tasks", j.Tasks}, {"time_limit", j.TimeLimit}} {
+		if err := d.d.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", d.name, err)
+		}
+	}
+	for _, pw := range j.Partitions {
+		if !parts[pw.Name] {
+			return fmt.Errorf("jobs target unknown partition %q", pw.Name)
+		}
+		if pw.Weight <= 0 {
+			return fmt.Errorf("partition %q weight must be > 0", pw.Name)
+		}
+	}
+	return nil
+}
+
+// TotalNodes is the cluster size the spec describes.
+func (s Spec) TotalNodes() int {
+	n := 0
+	for _, p := range s.Cluster.Partitions {
+		n += p.Nodes
+	}
+	return n
+}
