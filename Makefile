@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz cover bench bench-json serve-smoke scale-smoke clean
+.PHONY: all build vet lint test race chaos fuzz cover bench bench-json alloc-check serve-smoke scale-smoke loadgen-smoke clean
 
 all: vet lint test
 
@@ -59,11 +59,26 @@ scale-smoke: build
 	$(GO) run ./cmd/ecosim -spec specs/scale-smoke.json
 	$(GO) test -race -run 'ClusterReplayFidelity|DifferentSeedDiverges|CommittedSpecsParse' -v .
 
+# alloc-check guards the zero-allocation guarantee of the telemetry
+# emit path: the sharded counter, gauge and bucketed-histogram
+# benchmarks must report 0 allocs/op, or a heap allocation has crept
+# into the per-decision hot path.
+alloc-check:
+	$(GO) test -run XXX -bench 'ShardedCounterInc|BucketedHistogramObserve|GaugeSet' -benchtime=1000x -benchmem ./internal/metrics | \
+	awk '{ print } /allocs\/op$$/ { seen++; if ($$(NF-1) != "0") { bad = 1; print "alloc-check: " $$1 " allocates on the emit path" } } END { if (seen < 3) { print "alloc-check: expected 3 benchmarks, saw " seen+0; exit 1 }; exit bad }'
+
 # serve-smoke boots `chronus serve` against a fresh data directory and
 # fails unless /metrics and /healthz answer 200 with the expected
 # content types.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# loadgen-smoke drives the sustained-load harness in both modes,
+# appends the bench rows into a benchjson report and fails if the
+# submit-latency SLO is violated. LOADGEN_REPORT overrides where the
+# rows land (CI points it at the day's BENCH_<date>.json).
+loadgen-smoke:
+	./scripts/loadgen-smoke.sh
 
 clean:
 	$(GO) clean -testcache

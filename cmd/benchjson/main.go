@@ -5,6 +5,11 @@
 // Usage:
 //
 //	go test -run XXX -bench . -benchmem ./... | benchjson > BENCH_2026-01-01.json
+//	chronus -data DIR loadgen -bench | benchjson -append BENCH_2026-01-01.json
+//
+// -append merges the parsed rows into an existing report (created when
+// absent), so out-of-band harness runs — the loadgen SLO rows — land in
+// the same committed document as the micro-benchmarks.
 //
 // The output captures the run environment (goos/goarch/cpu), and for
 // every benchmark its package, iteration count and all reported
@@ -17,6 +22,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -41,10 +47,19 @@ type Report struct {
 }
 
 func main() {
+	appendPath := flag.String("append", "", "merge parsed rows into this JSON report (created if absent) instead of writing to stdout")
+	flag.Parse()
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *appendPath != "" {
+		if err := appendReport(*appendPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -52,6 +67,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// appendReport folds report into the JSON document at path: existing
+// rows stay in place, the parsed rows append after them, and empty
+// environment fields fill in from the new run (they never overwrite —
+// the first writer's environment describes the whole file).
+func appendReport(path string, report *Report) error {
+	merged := &Report{Benchmarks: []Benchmark{}}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, merged); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	case !os.IsNotExist(err):
+		return err
+	}
+	if merged.GOOS == "" {
+		merged.GOOS = report.GOOS
+	}
+	if merged.GOARCH == "" {
+		merged.GOARCH = report.GOARCH
+	}
+	if merged.CPU == "" {
+		merged.CPU = report.CPU
+	}
+	merged.Benchmarks = append(merged.Benchmarks, report.Benchmarks...)
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // parse consumes go-test benchmark output. Non-benchmark lines (PASS,

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,6 +61,51 @@ func TestParseEmptyInput(t *testing.T) {
 	}
 	if len(r.Benchmarks) != 0 {
 		t.Fatalf("benchmarks = %+v", r.Benchmarks)
+	}
+}
+
+func TestAppendReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+
+	first, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append to a missing file creates it.
+	if err := appendReport(path, first); err != nil {
+		t.Fatal(err)
+	}
+	// A second append — the loadgen flow — keeps the existing rows and
+	// the original environment.
+	second, err := parse(strings.NewReader(
+		"goos: plan9\nBenchmarkLoadgenSubmit 500 1234.5 ns/op 810000 ops/s 0.999 slo-attainment\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendReport(path, second); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged Report
+	if err := json.Unmarshal(data, &merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.GOOS != "linux" {
+		t.Fatalf("environment overwritten: GOOS = %q", merged.GOOS)
+	}
+	if len(merged.Benchmarks) != 5 {
+		t.Fatalf("%d benchmarks after append", len(merged.Benchmarks))
+	}
+	last := merged.Benchmarks[4]
+	if last.Name != "BenchmarkLoadgenSubmit" || last.Iterations != 500 {
+		t.Fatalf("appended row = %+v", last)
+	}
+	if last.Metrics["slo-attainment"] != 0.999 {
+		t.Fatalf("appended metrics = %+v", last.Metrics)
 	}
 }
 

@@ -13,9 +13,11 @@
 //	chronus -data DIR slurm-config [-n COUNT] SYSTEM_HASH BINARY_HASH
 //	chronus -data DIR set (database|blob-storage|state) VALUE
 //	chronus -data DIR metrics
+//	chronus -data DIR slo [-metric NAME] [-budget DUR] [-objective FRAC]
 //	chronus -data DIR trace JOB_ID
 //	chronus -data DIR events [-since DUR]
 //	chronus -data DIR serve [-addr HOST:PORT] [-pprof]
+//	chronus -data DIR loadgen [-mode submit|predict] [-n COUNT] [-rate R] [-train] [-bench]
 //	chronus simulate -spec FILE [-record FILE]
 //	chronus simulate -replay FILE
 package main
@@ -35,7 +37,9 @@ import (
 	"ecosched"
 	"ecosched/internal/core"
 	"ecosched/internal/ecoplugin"
+	"ecosched/internal/metrics"
 	"ecosched/internal/perfmodel"
+	"ecosched/internal/slurm"
 	"ecosched/internal/trace"
 	"ecosched/internal/workload"
 )
@@ -58,15 +62,17 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics|trace|events|serve|simulate) ...")
+		return fmt.Errorf("usage: chronus [-data DIR] (benchmark|init-model|load-model|slurm-config|set|metrics|slo|trace|events|serve|loadgen|simulate) ...")
 	}
 
-	// metrics, trace, events and simulate are stateless with respect
-	// to the data directory; they need no deployment (and must not
-	// wire one, or it would flush an empty snapshot on Close).
+	// metrics, slo, trace, events and simulate are stateless with
+	// respect to the data directory; they need no deployment (and must
+	// not wire one, or it would flush an empty snapshot on Close).
 	switch rest[0] {
 	case "metrics":
 		return cmdMetrics(*dataDir, rest[1:])
+	case "slo":
+		return cmdSLO(*dataDir, rest[1:])
 	case "trace":
 		return cmdTrace(*dataDir, rest[1:])
 	case "events":
@@ -110,6 +116,8 @@ func run(args []string) error {
 		return cmdSet(d, cmdArgs)
 	case "serve":
 		return cmdServe(d, cmdArgs)
+	case "loadgen":
+		return cmdLoadgen(d, cmdArgs)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -252,6 +260,89 @@ func cmdSlurmConfig(d *ecosched.Deployment, args []string) error {
 		}
 		fmt.Println(core.ConfigJSONOutput(res.Config))
 		fmt.Fprintf(os.Stderr, "decision latency: %v (%s)\n", res.Latency, res.Source)
+	}
+	return nil
+}
+
+// cmdLoadgen runs the sustained-load harness against the deployment:
+// throughput, wall and simulated latency percentiles, and the submit
+// SLO. -train first runs the quick benchmark/train/preload pipeline so
+// predictions hit the warm path; -bench emits a go-bench result line
+// for cmd/benchjson instead of the text report.
+func cmdLoadgen(d *ecosched.Deployment, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	mode := fs.String("mode", ecosched.LoadgenModeSubmit, "submit (drive the controller) or predict (fan out over the prediction service)")
+	count := fs.Int("n", 1000, "number of operations")
+	rate := fs.Float64("rate", 100, "arrival rate in submissions per simulated second (submit mode)")
+	conc := fs.Int("concurrency", 8, "goroutine fan-out width (predict mode)")
+	budget := fs.Duration("budget", 0, "SLO latency threshold (0 = the deployment's configured budget)")
+	objective := fs.Float64("objective", 0, "SLO objective in (0,1); 0 = the 0.99 default")
+	train := fs.Bool("train", false, "quick-benchmark, train and preload a model first so predictions hit the warm path")
+	bench := fs.Bool("bench", false, "emit a go-bench result line (pipe into benchjson) instead of the text report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: chronus loadgen [-mode submit|predict] [-n COUNT] [-rate R] [-concurrency N] [-budget DUR] [-objective FRAC] [-train] [-bench]")
+	}
+	if *train {
+		if _, err := d.BenchmarkConfigs(ecosched.QuickSweepConfigs(), 0); err != nil {
+			return err
+		}
+		meta, err := d.TrainModel("brute-force")
+		if err != nil {
+			return err
+		}
+		if _, err := d.PreloadModel(meta.ID); err != nil {
+			return err
+		}
+	}
+	rep, err := d.RunLoadgen(ecosched.LoadgenOptions{
+		Mode: *mode, Count: *count, Rate: *rate, Concurrency: *conc,
+		Budget: *budget, Objective: *objective,
+	})
+	if err != nil {
+		return err
+	}
+	if *bench {
+		rep.WriteBench(os.Stdout)
+		return nil
+	}
+	rep.WriteText(os.Stdout)
+	return nil
+}
+
+// cmdSLO evaluates a submit-latency SLO against the accumulated
+// metrics snapshot — stateless, like `chronus metrics`.
+func cmdSLO(dataDir string, args []string) error {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	metric := fs.String("metric", slurm.MetricChainLatency, "bucketed latency histogram to evaluate")
+	budget := fs.Duration("budget", 0, "latency threshold (0 = the stock submit-plugin budget)")
+	objective := fs.Float64("objective", metrics.DefaultObjective, "attainment objective in (0,1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: chronus slo [-metric NAME] [-budget DUR] [-objective FRAC]")
+	}
+	if *budget <= 0 {
+		*budget = slurm.DefaultConf().PluginBudget
+	}
+	snap, err := ecosched.ReadMetrics(dataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("no metrics recorded yet in %s — run a command first", dataDir)
+		}
+		return err
+	}
+	rep, err := metrics.EvalSLO(snap, metrics.SLO{Metric: *metric, Threshold: *budget, Objective: *objective})
+	if err != nil {
+		return err
+	}
+	rep.WriteText(os.Stdout)
+	if !rep.Met {
+		return fmt.Errorf("SLO violated (attainment %.4f%% < objective %.4f%%)",
+			rep.Attainment*100, rep.Objective*100)
 	}
 	return nil
 }

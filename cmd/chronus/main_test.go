@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -124,6 +125,48 @@ func TestCLIBenchmarkResume(t *testing.T) {
 	// Resuming the same quick set skips everything.
 	if err := run([]string{"-data", data, "benchmark", "-quick", "-resume"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCLILoadgenAndSLO(t *testing.T) {
+	data := filepath.Join(t.TempDir(), "data")
+
+	out := captureStdout(t, func() error {
+		return run([]string{"-data", data, "loadgen", "-n", "30", "-rate", "1000"})
+	})
+	for _, want := range []string{"loadgen     submit", "ops         30", "slo         "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("loadgen output lacks %q:\n%s", want, out)
+		}
+	}
+
+	// The run's chain-latency buckets were persisted on Close, so the
+	// stateless slo command can evaluate them afterwards.
+	out = captureStdout(t, func() error {
+		return run([]string{"-data", data, "slo"})
+	})
+	if !strings.Contains(out, "status      met") {
+		t.Fatalf("slo output:\n%s", out)
+	}
+
+	// -bench emits a benchjson-parseable row as the last line.
+	out = captureStdout(t, func() error {
+		return run([]string{"-data", data, "loadgen", "-n", "10", "-rate", "1000", "-bench"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "BenchmarkLoadgenSubmit 10 ") || !strings.Contains(last, "ns/op") {
+		t.Fatalf("loadgen -bench line = %q", last)
+	}
+
+	if err := run([]string{"-data", data, "loadgen", "-mode", "bogus"}); err == nil {
+		t.Fatal("loadgen -mode bogus accepted")
+	}
+	if err := run([]string{"-data", data, "slo", "-metric", "chronus.no.such"}); err == nil {
+		t.Fatal("slo with unknown metric accepted")
+	}
+	if err := run([]string{"-data", filepath.Join(t.TempDir(), "empty"), "slo"}); err == nil {
+		t.Fatal("slo with no metrics file accepted")
 	}
 }
 

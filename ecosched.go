@@ -110,9 +110,14 @@ type Options struct {
 	// TraceJournalMaxBytes bounds events.jsonl before rotation
 	// (default trace.DefaultJournalMaxBytes).
 	TraceJournalMaxBytes int64
+	// TraceSampleRate head-samples the decision traces: roughly this
+	// fraction of submissions (keyed deterministically by job id and
+	// Seed) journal their spans; errors and degraded outcomes are
+	// always journalled. <= 0 or >= 1 keeps everything — the default.
+	TraceSampleRate float64
 	// Tracer injects an externally-built tracer (tests); when set,
-	// Trace and TraceJournalMaxBytes are ignored and the deployment
-	// does not own a journal.
+	// Trace, TraceJournalMaxBytes and TraceSampleRate are ignored and
+	// the deployment does not own a journal.
 	Tracer *trace.Tracer
 	// Parallelism is the benchmark sweep's worker-pool width: how many
 	// configurations are measured concurrently, each on its own
@@ -172,6 +177,13 @@ func WithTraceJournalMaxBytes(n int64) Option {
 
 // WithTracer injects an externally-built tracer.
 func WithTracer(t *trace.Tracer) Option { return func(o *Options) { o.Tracer = t } }
+
+// WithTraceSampling head-samples decision traces at the given rate
+// (errors are always kept). Implies nothing about tracing being on —
+// combine with WithTracing.
+func WithTraceSampling(rate float64) Option {
+	return func(o *Options) { o.TraceSampleRate = rate }
+}
 
 // WithParallelism sets the benchmark sweep's worker-pool width.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
@@ -317,7 +329,17 @@ func buildDeployment(opts Options) (*Deployment, error) {
 			return nil, err
 		}
 		closers = append(closers, journal.Close)
-		tracer = trace.New(trace.WithJournal(journal))
+		rate := opts.TraceSampleRate
+		if rate <= 0 {
+			rate = 1 // unset keeps everything
+		}
+		tracer = trace.New(trace.WithJournal(journal),
+			trace.WithMetrics(reg),
+			trace.WithHeadSampling(rate, opts.Seed))
+		// Appended after journal.Close so the reversed teardown stops
+		// the async drainer (final flush included) before the journal
+		// file closes underneath it.
+		closers = append(closers, tracer.Close)
 	}
 	cluster.SetTracer(tracer)
 

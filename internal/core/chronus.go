@@ -135,10 +135,15 @@ type Chronus struct {
 }
 
 // Drain blocks until every in-flight prediction — including any
-// backoff retries it is sleeping through — has returned. Deployment
-// teardown calls this first, so closing the repository never races a
-// retry loop that would otherwise keep poking a half-closed store.
-func (c *Chronus) Drain() { c.inflight.drain() }
+// backoff retries it is sleeping through — has returned, then flushes
+// the async trace journal. Deployment teardown calls this first, so
+// closing the repository never races a retry loop that would otherwise
+// keep poking a half-closed store, and every span those predictions
+// emitted is on disk before the journal closes.
+func (c *Chronus) Drain() {
+	c.inflight.drain()
+	c.deps.Tracer.Drain()
+}
 
 // inflight counts active predictions so teardown can wait them out.
 type inflight struct {
@@ -198,7 +203,15 @@ func newWithCache(deps Deps, cache *modelCache) (*Chronus, error) {
 	c.Benchmark = &BenchmarkService{deps: deps, log: logger}
 	c.InitModel = &InitModelService{deps: deps, log: logger}
 	c.LoadModel = &LoadModelService{deps: deps, log: logger, cache: cache}
-	c.Predict = &PredictService{deps: deps, cache: cache, retry: newRetrier(deps), inflight: c.inflight}
+	c.Predict = &PredictService{
+		deps: deps, cache: cache, retry: newRetrier(deps), inflight: c.inflight,
+		// Hot-path handles resolved once: the cache-hit path must not
+		// take the registry map lock per submit. All nil-safe when
+		// deps.Metrics is nil.
+		mCacheHit:  deps.Metrics.Counter(metricPredictCacheHit),
+		mCacheMiss: deps.Metrics.Counter(metricPredictCacheMiss),
+		mLatency:   deps.Metrics.BucketedHistogram(MetricPredictLatency),
+	}
 	c.Set = &SetService{deps: deps, cache: cache}
 	return c, nil
 }

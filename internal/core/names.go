@@ -20,7 +20,6 @@ const (
 
 	metricPredictCacheHit         = "chronus.predict.cache_hit"
 	metricPredictCacheMiss        = "chronus.predict.cache_miss"
-	metricPredictLatency          = "chronus.predict.latency"
 	metricPredictCacheEntries     = "chronus.predict.cache_entries"
 	metricPredictBudgetViolations = "chronus.predict.budget_violations"
 	metricPredictCold             = "chronus.predict.cold"
@@ -34,9 +33,14 @@ const (
 	metricPredictDegraded = "chronus.predict.degraded"
 	eventPredictDegraded  = "chronus.predict.degraded"
 	// metricRetryPrefix + stage counts backoff retries per load stage.
-	metricRetryPrefix = "chronus.retry."
-	eventRetryBackoff = "chronus.retry.backoff"
-	metricSweepWorkers            = "chronus.sweep.workers"
-	metricSweepQueueDepth         = "chronus.sweep.queue_depth"
-	metricSweepBatchRows          = "chronus.sweep.batch_rows"
+	metricRetryPrefix     = "chronus.retry."
+	eventRetryBackoff     = "chronus.retry.backoff"
+	metricSweepWorkers    = "chronus.sweep.workers"
+	metricSweepQueueDepth = "chronus.sweep.queue_depth"
+	metricSweepBatchRows  = "chronus.sweep.batch_rows"
 )
+
+// MetricPredictLatency is the bucketed decision-latency histogram of
+// the prediction hot path. Exported so the root package's loadgen
+// harness and SLO evaluation can find it in a snapshot by name.
+const MetricPredictLatency = "chronus.predict.latency"

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ecosched/internal/ecoplugin"
+	"ecosched/internal/metrics"
 	"ecosched/internal/optimizer"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/repository"
@@ -50,6 +51,11 @@ type PredictService struct {
 	// to demonstrate the latency-budget violation; production keeps it
 	// off.
 	AllowColdLoad bool
+
+	// Cached hot-path metric handles (see newWithCache); nil-safe.
+	mCacheHit  *metrics.Counter
+	mCacheMiss *metrics.Counter
+	mLatency   *metrics.BucketedHistogram
 }
 
 var _ ecoplugin.Predictor = (*PredictService)(nil)
@@ -101,16 +107,16 @@ func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictReque
 	key := cacheKey{req.SystemHash, req.BinaryHash}
 
 	if e, ok := s.cache.peek(key); ok {
-		m.Counter(metricPredictCacheHit).Inc()
+		s.mCacheHit.Inc()
 		if s.deps.Tracer != nil {
 			_, hs := s.deps.Tracer.Start(ctx, spanPredictCacheHit)
 			hs.End(nil)
 		}
 		res := ecoplugin.PredictResult{Config: e.best, Latency: LatencyLocalRead, Source: ecoplugin.SourceCache}
-		m.Histogram(metricPredictLatency).ObserveDuration(res.Latency)
+		s.mLatency.ObserveDuration(res.Latency)
 		return res, nil
 	}
-	m.Counter(metricPredictCacheMiss).Inc()
+	s.mCacheMiss.Inc()
 
 	e, isLoader := s.cache.lookup(key)
 	if !isLoader {
@@ -136,7 +142,7 @@ func (s *PredictService) predict(ctx context.Context, req ecoplugin.PredictReque
 	}
 	// Waiters ride the loader's work and share its cost and source.
 	res := ecoplugin.PredictResult{Config: e.best, Latency: e.latency, Source: e.source}
-	m.Histogram(metricPredictLatency).ObserveDuration(res.Latency)
+	s.mLatency.ObserveDuration(res.Latency)
 	return res, nil
 }
 

@@ -128,6 +128,13 @@ type Plugin struct {
 	metrics   *metrics.Registry
 	tracer    *trace.Tracer
 
+	// Per-submission metric handles, resolved once in New so the
+	// submit path never takes the registry map lock. All nil-safe.
+	mSubmissions    *metrics.Counter
+	mPredictLatency *metrics.BucketedHistogram
+	mRewritten      *metrics.Counter
+	mFallback       *metrics.Counter
+
 	// Stats for observability and the A2 ablation. Fallbacks counts
 	// submissions that were left unmodified because prediction failed
 	// or would have blown the budget — the fail-open path.
@@ -171,6 +178,10 @@ func New(fs procfs.FileReader, p Predictor, st settings.Store, opts ...Option) (
 	for _, opt := range opts {
 		opt(plugin)
 	}
+	plugin.mSubmissions = plugin.metrics.Counter(metricSubmissions)
+	plugin.mPredictLatency = plugin.metrics.BucketedHistogram(metricPredictLatency)
+	plugin.mRewritten = plugin.metrics.Counter(metricRewritten)
+	plugin.mFallback = plugin.metrics.Counter(metricFallback)
 	return plugin, nil
 }
 
@@ -237,7 +248,7 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 		}
 	}()
 	p.Submissions++
-	p.metrics.Counter(metricSubmissions).Inc()
+	p.mSubmissions.Inc()
 
 	st, err := p.settings.Load()
 	if err != nil {
@@ -273,7 +284,7 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 	}
 	res, err := p.predictor.Predict(ctx, req)
 	total := hashLatency + res.Latency
-	p.metrics.Histogram(metricPredictLatency).ObserveDuration(res.Latency)
+	p.mPredictLatency.ObserveDuration(res.Latency)
 	if err != nil {
 		return total, p.fallBack(span, err)
 	}
@@ -284,7 +295,7 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 	desc.MinFreqKHz = res.Config.FreqKHz
 	desc.MaxFreqKHz = res.Config.FreqKHz
 	p.Rewritten++
-	p.metrics.Counter(metricRewritten).Inc()
+	p.mRewritten.Inc()
 	p.metrics.Counter(metricSourcePrefix + string(res.Source)).Inc()
 	p.LastErr = nil
 	if span != nil {
@@ -302,7 +313,7 @@ func (p *Plugin) jobSubmit(ctx context.Context, desc *slurm.JobDesc, span *trace
 func (p *Plugin) fallBack(span *trace.Span, err error) error {
 	p.LastErr = err
 	p.Fallbacks++
-	p.metrics.Counter(metricFallback).Inc()
+	p.mFallback.Inc()
 	if errors.Is(err, ErrBudgetExceeded) {
 		p.metrics.Counter(metricBudgetViolations).Inc()
 	}

@@ -37,10 +37,18 @@ func Use(ctx context.Context, r *metrics.Registry, t *trace.Tracer, kind string)
 	r.Counter(badPrefix + kind).Inc() // want `constant prefix "chronus\.app" of the dynamic name`
 	r.Counter(kind + sourcePrefix).Inc() // want `dynamic name passed to Registry\.Counter must start with a package-level constant prefix`
 
+	r.BucketedHistogram(counterRequests).Observe(5)
+	r.BucketedHistogram("chronus.app.inline_bh").Observe(6) // want `must be a package-level constant, not an inline string literal`
+
 	ctx, span := t.Start(ctx, spanSubmit)
 	defer span.End()
 	t.Event("job.start", nil) // want `must be a package-level constant, not an inline string literal`
 	t.Event(counterRequests, map[string]string{"kind": kind})
+
+	_, keyed := t.StartKeyed(ctx, spanSubmit, 7)
+	defer keyed.End()
+	_, bad := t.StartKeyed(ctx, "chronus.app.keyed", 7) // want `must be a package-level constant, not an inline string literal`
+	defer bad.End()
 	_, _ = ctx, span
 }
 

@@ -20,3 +20,9 @@ func (h *Histogram) Observe(v float64) {}
 func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
 func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
 func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+type BucketedHistogram struct{}
+
+func (h *BucketedHistogram) Observe(v float64) {}
+
+func (r *Registry) BucketedHistogram(name string) *BucketedHistogram { return &BucketedHistogram{} }

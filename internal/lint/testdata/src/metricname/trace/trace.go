@@ -14,3 +14,7 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 }
 
 func (t *Tracer) Event(name string, attrs map[string]string) {}
+
+func (t *Tracer) StartKeyed(ctx context.Context, name string, key uint64) (context.Context, *Span) {
+	return ctx, &Span{}
+}

@@ -28,9 +28,11 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing integer metric.
+// Counter is a monotonically increasing integer metric, striped across
+// cache-line-padded atomic shards (see sharded.go) so fleet-rate
+// increments from many goroutines never convoy on one cache line.
 type Counter struct {
-	v atomic.Int64
+	stripes [stripeCount]paddedInt64
 }
 
 // Inc adds one.
@@ -41,21 +43,31 @@ func (c *Counter) Add(delta int64) {
 	if c == nil || delta < 0 {
 		return
 	}
-	c.v.Add(delta)
+	c.stripes[stripeIndex()].v.Add(delta)
 }
 
-// Value returns the current count.
+// Value returns the current count, folding the stripes. Concurrent
+// increments may or may not be included — the usual counter-read
+// semantics — but the value never decreases across calls.
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v.Load()
+	var total int64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
 }
 
-// Gauge is a point-in-time float metric (queue depth, cache size).
+// Gauge is a point-in-time float metric (queue depth, cache size),
+// stored as atomic float bits: Set is a plain store, Add a CAS loop,
+// and neither locks nor allocates. Gauges are last-write-wins
+// point-in-time data, so unlike counters they gain nothing from
+// striping — one atomic word is already contention-free for the
+// set-dominated access pattern.
 type Gauge struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Set replaces the gauge value.
@@ -63,9 +75,7 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.mu.Lock()
-	g.v = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add shifts the gauge by delta.
@@ -73,9 +83,12 @@ func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
 	}
-	g.mu.Lock()
-	g.v += delta
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
 }
 
 // Value returns the current gauge value.
@@ -83,9 +96,7 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
+	return math.Float64frombits(g.bits.Load())
 }
 
 // histogramWindow bounds the per-histogram sample retention:
@@ -106,13 +117,14 @@ type Histogram struct {
 	next     int       // ring write position
 }
 
-// Observe records one value.
+// Observe records one value. The critical section unlocks explicitly —
+// no defer — because this is called on every power sample and every
+// submit, and the defer machinery is measurable there.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.count == 0 || v < h.min {
 		h.min = v
 	}
@@ -132,6 +144,7 @@ func (h *Histogram) Observe(v float64) {
 		h.window[h.next] = v
 		h.next = (h.next + 1) % histogramWindow
 	}
+	h.mu.Unlock()
 }
 
 // ObserveDuration records a latency in seconds.
@@ -143,21 +156,38 @@ func (h *Histogram) Count() int64 {
 		return 0
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
+	n := h.count
+	h.mu.Unlock()
+	return n
 }
 
 // Quantile returns the q-quantile (q in [0,1]) over the retained
-// window, or NaN when nothing has been observed.
+// window, or NaN when nothing has been observed. Callers needing
+// several quantiles should use Quantiles, which copies and sorts the
+// window once for the whole batch.
 func (h *Histogram) Quantile(q float64) float64 {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles returns the q-quantiles over the retained window (NaN per
+// entry when nothing has been observed), locking, copying and sorting
+// the window exactly once — not once per quantile.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
 	if h == nil {
-		return math.NaN()
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
 	}
 	h.mu.Lock()
 	sorted := append([]float64(nil), h.window...)
 	h.mu.Unlock()
 	sort.Float64s(sorted)
-	return sortedQuantile(sorted, q)
+	for i, q := range qs {
+		out[i] = sortedQuantile(sorted, q)
+	}
+	return out
 }
 
 // sortedQuantile is the nearest-rank quantile over an already-sorted
@@ -192,24 +222,27 @@ func (h *Histogram) stat() HistogramStat {
 	st.P50 = sortedQuantile(sorted, 0.50)
 	st.P90 = sortedQuantile(sorted, 0.90)
 	st.P99 = sortedQuantile(sorted, 0.99)
+	st.P999 = sortedQuantile(sorted, 0.999)
 	return st
 }
 
 // Registry holds named metrics. The zero value is not usable; call
 // New. A nil *Registry is a valid no-op sink.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
+	bhistograms map[string]*BucketedHistogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		histograms:  make(map[string]*Histogram),
+		bhistograms: make(map[string]*BucketedHistogram),
 	}
 }
 
@@ -258,8 +291,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistogramStat is a histogram summarised for a snapshot. Percentiles
-// are over the retained window; the other fields are lifetime-exact.
+// BucketedHistogram returns the named log-bucketed histogram, creating
+// it on first use. Bucketed and exact histograms share the snapshot
+// namespace, so a name must consistently be one or the other.
+func (r *Registry) BucketedHistogram(name string) *BucketedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h, ok := r.bhistograms[name]
+	if !ok {
+		h = NewBucketedHistogram()
+		r.bhistograms[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// HistogramStat is a histogram summarised for a snapshot. For the
+// exact Histogram, percentiles are over the retained window and the
+// other fields are lifetime-exact; for a BucketedHistogram, everything
+// is lifetime and Buckets carries the sparse bucket counts the SLO
+// evaluation consumes.
 type HistogramStat struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
@@ -269,6 +322,17 @@ type HistogramStat struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	// Buckets, present only for bucketed histograms, lists the
+	// non-empty log buckets in ascending LE order: Count observations
+	// fell at or below LE seconds (and above the previous bucket's LE).
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty bucket of a BucketedHistogram snapshot.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry —
@@ -302,6 +366,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.histograms {
 		histograms[k] = v
 	}
+	bhistograms := make(map[string]*BucketedHistogram, len(r.bhistograms))
+	for k, v := range r.bhistograms {
+		bhistograms[k] = v
+	}
 	r.mu.Unlock()
 
 	for k, v := range counters {
@@ -313,7 +381,26 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range histograms {
 		s.Histograms[k] = v.stat()
 	}
+	for k, v := range bhistograms {
+		s.Histograms[k] = v.stat()
+	}
 	return s
+}
+
+// MarshalJSON encodes the stat with NaN percentiles (an empty
+// histogram) zeroed: JSON has no NaN, and Count == 0 already tells a
+// reader there is no data. Without this, a hot path that caches a
+// histogram handle before the first observation would make the whole
+// persisted snapshot unmarshalable.
+func (h HistogramStat) MarshalJSON() ([]byte, error) {
+	type alias HistogramStat // avoid recursion
+	a := alias(h)
+	for _, p := range []*float64{&a.Mean, &a.P50, &a.P90, &a.P99, &a.P999} {
+		if math.IsNaN(*p) {
+			*p = 0
+		}
+	}
+	return json.Marshal(a)
 }
 
 // Merge folds other into s: counters add, histogram lifetimes
@@ -351,11 +438,69 @@ func (s *Snapshot) Merge(other Snapshot) {
 			Max:   math.Max(cur.Max, v.Max),
 			// Percentiles cannot be combined exactly from summaries;
 			// keep the most recent window's, like the gauges.
-			P50: v.P50, P90: v.P90, P99: v.P99,
+			P50: v.P50, P90: v.P90, P99: v.P99, P999: v.P999,
 		}
 		merged.Mean = merged.Sum / float64(merged.Count)
+		if len(cur.Buckets) > 0 || len(v.Buckets) > 0 {
+			// Bucketed histograms CAN combine exactly: bucket counts
+			// add, and the percentiles recompute from the merged CDF.
+			merged.Buckets = mergeBuckets(cur.Buckets, v.Buckets)
+			merged.P50 = bucketQuantile(merged, 0.50)
+			merged.P90 = bucketQuantile(merged, 0.90)
+			merged.P99 = bucketQuantile(merged, 0.99)
+			merged.P999 = bucketQuantile(merged, 0.999)
+		}
 		s.Histograms[k] = merged
 	}
+}
+
+// mergeBuckets adds two sparse bucket lists, preserving ascending LE
+// order. Bucket bounds come from the fixed log-bucket layout, so equal
+// bounds compare equal exactly.
+func mergeBuckets(a, b []BucketCount) []BucketCount {
+	out := make([]BucketCount, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].LE < b[j].LE:
+			out = append(out, a[i])
+			i++
+		case a[i].LE > b[j].LE:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, BucketCount{LE: a[i].LE, Count: a[i].Count + b[j].Count})
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// bucketQuantile is the nearest-rank quantile over a stat's sparse
+// bucket CDF, clamped into [Min, Max] like the live histogram's.
+func bucketQuantile(st HistogramStat, q float64) float64 {
+	if st.Count == 0 || len(st.Buckets) == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(st.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > st.Count {
+		rank = st.Count
+	}
+	var cum int64
+	v := st.Buckets[len(st.Buckets)-1].LE
+	for _, b := range st.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			v = b.LE
+			break
+		}
+	}
+	return math.Min(math.Max(v, st.Min), st.Max)
 }
 
 // MarshalJSON renders the snapshot with deterministic key order (Go
@@ -397,8 +542,8 @@ func (s Snapshot) WriteText(w io.Writer) {
 		if strings.HasSuffix(name, "_rows") {
 			format = fmtCount
 		}
-		fmt.Fprintf(w, "histogram %-44s count=%d mean=%s p50=%s p90=%s p99=%s max=%s\n",
-			name, h.Count, format(h.Mean), format(h.P50), format(h.P90), format(h.P99), format(h.Max))
+		fmt.Fprintf(w, "histogram %-44s count=%d mean=%s p50=%s p90=%s p99=%s p999=%s max=%s\n",
+			name, h.Count, format(h.Mean), format(h.P50), format(h.P90), format(h.P99), format(h.P999), format(h.Max))
 	}
 }
 

@@ -46,6 +46,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", p, promFloat(h.P50))
 			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", p, promFloat(h.P90))
 			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", p, promFloat(h.P99))
+			fmt.Fprintf(w, "%s{quantile=\"0.999\"} %s\n", p, promFloat(h.P999))
 		}
 		fmt.Fprintf(w, "%s_sum %s\n", p, promFloat(h.Sum))
 		fmt.Fprintf(w, "%s_count %d\n", p, h.Count)

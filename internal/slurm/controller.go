@@ -30,8 +30,12 @@ const (
 	metricJobsFailed     = "chronus.slurm.jobs.failed"
 	metricJobsCancelled  = "chronus.slurm.jobs.cancelled"
 	metricBudgetOverruns = "chronus.slurm.plugin.budget_overruns"
-	metricChainLatency   = "chronus.slurm.plugin.chain_latency"
 )
+
+// MetricChainLatency is the bucketed per-submission plugin-chain
+// latency histogram. Exported so the root package's loadgen harness
+// and SLO evaluation can find it in a snapshot by name.
+const MetricChainLatency = "chronus.slurm.plugin.chain_latency"
 
 // Workload models what a job's executable does on a node: how long it
 // runs in a given configuration and at what sustained throughput. The
@@ -162,12 +166,13 @@ type Controller struct {
 
 	// Cached metric handles (nil-safe; refreshed by SetMetrics) so the
 	// event loop skips the registry's map lookups.
-	mSubmitted *metrics.Counter
-	mRejected  *metrics.Counter
-	mCompleted *metrics.Counter
-	mFailed    *metrics.Counter
-	mCancelled *metrics.Counter
-	mOverruns  *metrics.Counter
+	mSubmitted    *metrics.Counter
+	mRejected     *metrics.Counter
+	mCompleted    *metrics.Counter
+	mFailed       *metrics.Counter
+	mCancelled    *metrics.Counter
+	mOverruns     *metrics.Counter
+	mChainLatency *metrics.BucketedHistogram
 }
 
 // NewController builds a controller over the given nodes with the
@@ -189,6 +194,7 @@ func (c *Controller) cacheMetrics() {
 	c.mFailed = c.metrics.Counter(metricJobsFailed)
 	c.mCancelled = c.metrics.Counter(metricJobsCancelled)
 	c.mOverruns = c.metrics.Counter(metricBudgetOverruns)
+	c.mChainLatency = c.metrics.BucketedHistogram(MetricChainLatency)
 	for _, p := range c.parts {
 		p.queueGauge = c.metrics.Gauge(metricPartQueuePrefix + p.name)
 		p.occGauge = c.metrics.Gauge(metricPartOccPrefix + p.name)
@@ -196,6 +202,11 @@ func (c *Controller) cacheMetrics() {
 		p.doneCount = c.metrics.Counter(metricPartDonePrefix + p.name)
 	}
 }
+
+// Conf returns the parsed slurm.conf the controller runs under —
+// read-only configuration for callers that need the budgets (the
+// loadgen SLO evaluation) without re-parsing the file.
+func (c *Controller) Conf() Conf { return c.conf }
 
 // RegisterPlugin registers a submit plugin implementation. Only
 // plugins named in the configuration's JobSubmitPlugins line are
@@ -288,8 +299,10 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 // submitTraced wraps the submission in the root span of the decision
 // trace: plugin spans nest under it and the assigned job id lands in
 // its attributes, which is how `chronus trace <job>` finds the trace.
+// The id the job is about to receive keys head sampling, so a sampled
+// deployment keeps or drops each submission's trace as a whole.
 func (c *Controller) submitTraced(desc JobDesc) (*Job, error) {
-	ctx, span := c.tracer.Start(context.Background(), spanSubmit)
+	ctx, span := c.tracer.StartKeyed(context.Background(), spanSubmit, uint64(c.nextID))
 	job, err := c.submit(ctx, desc)
 	if span != nil {
 		if job != nil {
@@ -328,9 +341,7 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 		}
 	}
 	if len(plugins) > 0 {
-		// Looked up lazily: registering the histogram before any
-		// observation would poison snapshots with NaN percentiles.
-		c.metrics.Histogram(metricChainLatency).ObserveDuration(pluginTime)
+		c.mChainLatency.ObserveDuration(pluginTime)
 		if s := trace.FromContext(ctx); s != nil {
 			s.SetAttr("plugin_sim_latency", pluginTime.String())
 		}
@@ -652,7 +663,7 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	job.GFLOPS = gflops
 	c.claimNode(node, job)
 	node.hwJob = hwJob
-	if c.tracer != nil {
+	if c.tracer != nil && c.tracer.SampleKey(uint64(job.ID)) {
 		c.tracer.Event(eventJobStart, map[string]string{
 			trace.AttrJobID: strconv.Itoa(job.ID),
 			"node":          node.name,
@@ -714,7 +725,9 @@ func (c *Controller) finish(job *Job) {
 			p.energyGauge.Add(job.SystemJ / 1000)
 		}
 	}
-	if c.tracer != nil {
+	// Degraded outcomes (failures, cancellations) are always journaled;
+	// only the healthy completion event is subject to head sampling.
+	if c.tracer != nil && (job.State != StateCompleted || c.tracer.SampleKey(uint64(job.ID))) {
 		attrs := map[string]string{
 			trace.AttrJobID: strconv.Itoa(job.ID),
 			"state":         string(job.State),

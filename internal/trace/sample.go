@@ -1,0 +1,78 @@
+// Deterministic head sampling: at fleet rates even the async journal
+// cannot hold every span of every submission, so traces are sampled at
+// the head — the keep/drop decision is made when the root span starts,
+// from a hash of a stable key (the job ID), and every span of a kept
+// trace is kept. Hash-based (not counter-based) sampling makes the
+// decision reproducible: the same seed and job stream always keeps the
+// same traces, so replayed simulations journal identical spans.
+//
+// Errors override sampling: a span that ends with an error is always
+// recorded, and callers gate degraded-path events on SampleKey only
+// for the healthy case.
+package trace
+
+import (
+	"context"
+	"math"
+)
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit
+// hash, here mapping (seed, key) onto a uniform [0, 2^64) value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// WithHeadSampling keeps roughly rate (in [0, 1]) of keyed traces,
+// decided deterministically from seed and the trace's key. rate >= 1
+// keeps everything (sampling disabled); rate <= 0 keeps only errors.
+// Unkeyed Start spans are always kept.
+func WithHeadSampling(rate float64, seed uint64) Option {
+	return func(t *Tracer) {
+		if rate >= 1 || math.IsNaN(rate) {
+			t.sampleEnabled = false
+			return
+		}
+		t.sampleEnabled = true
+		t.sampleSeed = seed
+		if rate <= 0 {
+			t.sampleThreshold = 0
+			return
+		}
+		t.sampleThreshold = uint64(rate * float64(math.MaxUint64))
+	}
+}
+
+// SampleKey reports whether a trace or event keyed by key is kept
+// under the configured head-sampling rate. Without sampling configured
+// everything is kept; on a nil tracer nothing is (nothing would be
+// recorded anyway).
+func (t *Tracer) SampleKey(key uint64) bool {
+	if t == nil {
+		return false
+	}
+	if !t.sampleEnabled {
+		return true
+	}
+	return splitmix64(t.sampleSeed^key) < t.sampleThreshold
+}
+
+// StartKeyed is Start with a head-sampling key: a root span is kept
+// per SampleKey(key); a child span inherits its parent's decision so
+// traces stay whole. An unsampled span is a live no-op — attributes
+// and nesting work, but End discards the record unless the span ends
+// in an error.
+//
+//lint:ignore ecolint/metricname forwarding wrapper — the name constant is enforced at StartKeyed call sites via its own sink
+func (t *Tracer) StartKeyed(ctx context.Context, name string, key uint64) (context.Context, *Span) {
+	ctx, s := t.Start(ctx, name)
+	if s == nil {
+		return ctx, nil
+	}
+	if FromContext(ctx) == s && s.parent == "" {
+		s.sampled = t.SampleKey(key)
+	}
+	return ctx, s
+}

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ecosched/internal/metrics"
 )
 
 // Event is one journal record: a completed span (Kind "span") or a
@@ -53,6 +55,16 @@ type Tracer struct {
 	clock    func() time.Time
 	journal  *Journal
 	idPrefix string // per-process uniqueness for IDs sharing a journal
+
+	// Async journal emission (nil without a journal) and drop metric.
+	aw      *asyncWriter
+	dropped *metrics.Counter
+	ringCap int
+
+	// Head sampling (see sample.go).
+	sampleEnabled   bool
+	sampleSeed      uint64
+	sampleThreshold uint64
 
 	traceCtr atomic.Int64
 	spanCtr  atomic.Int64
@@ -94,6 +106,9 @@ func New(opts ...Option) *Tracer {
 	// it; a clock-derived prefix keeps IDs from different processes
 	// (e.g. two ecosim runs into one data directory) distinct.
 	t.idPrefix = strconv.FormatInt(t.clock().UnixNano(), 36)
+	if t.journal != nil {
+		t.aw = newAsyncWriter(t.journal, t.ringCap, t.dropped)
+	}
 	return t
 }
 
@@ -114,10 +129,11 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 	if t == nil {
 		return ctx, nil
 	}
-	s := &Span{t: t, name: name, start: t.clock()}
+	s := &Span{t: t, name: name, start: t.clock(), sampled: true}
 	if parent := FromContext(ctx); parent != nil {
 		s.traceID = parent.traceID
 		s.parent = parent.spanID
+		s.sampled = parent.sampled
 	} else {
 		s.traceID = fmt.Sprintf("t%s-%04d", t.idPrefix, t.traceCtr.Add(1))
 	}
@@ -133,7 +149,8 @@ func (t *Tracer) Event(name string, attrs map[string]string) {
 	t.record(Event{Time: t.clock(), Kind: KindEvent, Name: name, Attrs: attrs})
 }
 
-// record appends to the ring and the journal.
+// record appends to the ring and enqueues for the async journal
+// drainer. The calling goroutine never performs journal I/O.
 func (t *Tracer) record(e Event) {
 	t.mu.Lock()
 	if cap(t.recent) == 0 {
@@ -146,9 +163,11 @@ func (t *Tracer) record(e Event) {
 		t.next = (t.next + 1) % cap(t.recent)
 		t.filled = true
 	}
-	j := t.journal
+	aw := t.aw
 	t.mu.Unlock()
-	j.Append(e) // nil-safe; journal errors are non-fatal by design
+	if aw != nil {
+		aw.enqueue(e)
+	}
 }
 
 // Recent returns the retained completed records, oldest first.
@@ -175,6 +194,8 @@ type Span struct {
 	parent  string
 	name    string
 	start   time.Time
+
+	sampled bool
 
 	mu    sync.Mutex
 	attrs map[string]string
@@ -203,7 +224,9 @@ func (s *Span) SetAttr(key, value string) {
 }
 
 // End closes the span and records it. err (may be nil) is the stage's
-// outcome. End is idempotent; only the first call records.
+// outcome. End is idempotent; only the first call records. A span
+// dropped by head sampling is discarded here — unless it ended in an
+// error, which is always recorded.
 func (s *Span) End(err error) {
 	if s == nil {
 		return
@@ -215,6 +238,10 @@ func (s *Span) End(err error) {
 		return
 	}
 	s.ended = true
+	if !s.sampled && err == nil {
+		s.mu.Unlock()
+		return
+	}
 	e := Event{
 		Time: s.start, Kind: KindSpan,
 		Trace: s.traceID, Span: s.spanID, Parent: s.parent,

@@ -119,6 +119,11 @@ func TestJournalRoundTrip(t *testing.T) {
 	child.End(nil)
 	root.End(nil)
 	tr.Event("job.start", map[string]string{AttrJobID: "7"})
+	// Journal emission is async: the drainer must be flushed and
+	// stopped before the journal is closed and read.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}

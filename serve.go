@@ -3,12 +3,16 @@ package ecosched
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 
+	"ecosched/internal/metrics"
 	"ecosched/internal/trace"
 )
 
@@ -56,6 +60,37 @@ func (d *Deployment) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Merge(d.Metrics.Snapshot())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap.WritePrometheus(w)
+	d.writeSLOGauges(w, snap)
+}
+
+// writeSLOGauges appends submit-latency SLO gauges to the exposition:
+// every bucketed latency histogram in the merged snapshot is evaluated
+// against the deployment's submit-latency budget (eco_budget, falling
+// back to the chain-wide PluginBudget) at the default objective, so a
+// scrape carries attainment and error-budget burn next to the raw
+// histograms. Nothing is written when no budget is enforced — there is
+// no threshold to hold the fleet to.
+func (d *Deployment) writeSLOGauges(w io.Writer, snap metrics.Snapshot) {
+	budget := d.sloBudget()
+	if budget <= 0 {
+		return
+	}
+	names := make([]string, 0, len(snap.Histograms))
+	for name, st := range snap.Histograms {
+		if len(st.Buckets) > 0 && strings.Contains(name, "latency") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep, err := metrics.EvalSLO(snap, metrics.SLO{
+			Metric: name, Threshold: budget, Objective: metrics.DefaultObjective,
+		})
+		if err != nil {
+			continue // empty histogram: nothing to attain yet
+		}
+		rep.WritePrometheus(w)
+	}
 }
 
 // handleTrace serves recent completed trace records, newest last, as

@@ -53,6 +53,27 @@ func TestServeMetricsPrometheus(t *testing.T) {
 	}
 }
 
+// Once bucketed latency histograms carry observations, /metrics grows
+// labelled SLO gauges evaluating each against the submit budget.
+func TestServeMetricsSLOGauges(t *testing.T) {
+	d := newDeployment(t, Options{})
+	if _, err := d.RunLoadgen(LoadgenOptions{Count: 20, Rate: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	body := serveGet(t, d.Handler(ServeConfig{}), "/metrics").Body.String()
+	for _, want := range []string{
+		`chronus_slo_attainment{metric="chronus.slurm.plugin.chain_latency"}`,
+		`chronus_slo_attainment{metric="chronus.loadgen.submit_latency"}`,
+		`chronus_slo_objective{`,
+		`chronus_slo_error_budget_burn{`,
+		`chronus_slo_threshold_seconds{`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics lacks SLO gauge %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestServeTraceJSON(t *testing.T) {
 	d := newDeployment(t, Options{Trace: true})
 	if _, err := d.BenchmarkConfigs(QuickSweepConfigs(), 0); err != nil {
