@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos fuzz cover bench bench-json alloc-check serve-smoke scale-smoke loadgen-smoke clean
+.PHONY: all build vet lint test race chaos fuzz cover bench bench-json bench-compare profile-cluster alloc-check serve-smoke scale-smoke loadgen-smoke clean
 
 all: vet lint test
 
@@ -12,7 +12,8 @@ vet:
 
 # lint runs the project's own analyzer suite (internal/lint via
 # cmd/ecolint): determinism, context flow, hot-path I/O, lock scope,
-# and metric naming. Whole-module mode is the authoritative gate; the
+# metric naming and the simclock event-pool contract. Whole-module
+# mode is the authoritative gate; the
 # same binary also speaks the vet protocol
 # (go vet -vettool=bin/ecolint ./...).
 lint: build
@@ -59,13 +60,34 @@ scale-smoke: build
 	$(GO) run ./cmd/ecosim -spec specs/scale-smoke.json
 	$(GO) test -race -run 'ClusterReplayFidelity|DifferentSeedDiverges|CommittedSpecsParse' -v .
 
-# alloc-check guards the zero-allocation guarantee of the telemetry
-# emit path: the sharded counter, gauge and bucketed-histogram
-# benchmarks must report 0 allocs/op, or a heap allocation has crept
-# into the per-decision hot path.
+# bench-compare is the perf regression gate: it re-runs the simulator
+# core benchmarks, converts them with benchjson, and diffs the result
+# against the most recent committed BENCH_<date>.json. The ns/op
+# threshold is deliberately loose (shared CI runners are noisy); the
+# allocs/op threshold is tight because allocation counts are exact.
+bench-compare: build
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run XXX -bench 'ClusterThroughput|SimSchedule$$|SubmitSteadyState' -benchmem . ./internal/simclock ./internal/slurm | ./bin/benchjson > bin/bench-head.json
+	./bin/benchjson -compare -max-slowdown 0.5 -max-alloc-increase 0.05 $$(ls BENCH_*.json | tail -n1) bin/bench-head.json
+
+# profile-cluster captures CPU and heap profiles of the cluster-scale
+# throughput benchmark into bin/, then prints the CPU top — the
+# starting point for any simulator-core perf work (inspect further
+# with `go tool pprof bin/ecosched.test bin/cluster-{cpu,mem}.out`).
+profile-cluster:
+	$(GO) test -run XXX -bench ClusterThroughput -benchtime=10x -benchmem \
+		-o bin/ecosched.test -cpuprofile bin/cluster-cpu.out -memprofile bin/cluster-mem.out .
+	$(GO) tool pprof -top -nodecount=20 bin/ecosched.test bin/cluster-cpu.out
+
+# alloc-check guards the zero-allocation guarantees of the simulator
+# hot paths: the telemetry emit path (sharded counter, gauge,
+# bucketed histogram), the simclock schedule+pop cycle on the Action
+# fast path, and the slurm submit→complete cycle (pooled jobs, chunked
+# arena, aggregate accounting). Every row must report 0 allocs/op, or
+# a heap allocation has crept into a per-event path.
 alloc-check:
-	$(GO) test -run XXX -bench 'ShardedCounterInc|BucketedHistogramObserve|GaugeSet' -benchtime=1000x -benchmem ./internal/metrics | \
-	awk '{ print } /allocs\/op$$/ { seen++; if ($$(NF-1) != "0") { bad = 1; print "alloc-check: " $$1 " allocates on the emit path" } } END { if (seen < 3) { print "alloc-check: expected 3 benchmarks, saw " seen+0; exit 1 }; exit bad }'
+	$(GO) test -run XXX -bench 'ShardedCounterInc|BucketedHistogramObserve|GaugeSet|SimSchedule$$|SubmitSteadyState' -benchtime=1000x -benchmem ./internal/metrics ./internal/simclock ./internal/slurm | \
+	awk '{ print } /allocs\/op$$/ { seen++; if ($$(NF-1) != "0") { bad = 1; print "alloc-check: " $$1 " allocates on the hot path" } } END { if (seen < 5) { print "alloc-check: expected 5 benchmarks, saw " seen+0; exit 1 }; exit bad }'
 
 # serve-smoke boots `chronus serve` against a fresh data directory and
 # fails unless /metrics and /healthz answer 200 with the expected

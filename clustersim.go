@@ -9,6 +9,8 @@ package ecosched
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"ecosched/internal/hw"
@@ -84,172 +86,335 @@ func (r *ClusterReport) meanWaitSeconds() float64 {
 	return r.Totals.WaitSeconds / float64(started)
 }
 
+// RunOption configures a cluster run (RunClusterSpec /
+// ReplayClusterLog).
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	lanes int
+}
+
+// WithLanes bounds how many partition lanes advance concurrently.
+// Zero (the default) picks min(partitions, GOMAXPROCS); 1 is fully
+// serial. The report and any recorded log are byte-identical at every
+// setting: lanes only touch lane-local state between window barriers,
+// so the lane count changes wall-clock time, never results.
+func WithLanes(n int) RunOption {
+	return func(cfg *runConfig) { cfg.lanes = n }
+}
+
 // RunClusterSpec generates the spec's submission stream and runs it to
 // completion. When record is non-nil, every generated submission is
 // written to it as a versioned JSONL log replayable with
 // ReplayClusterLog; the log embeds the spec, so it is self-contained.
-func RunClusterSpec(spec workload.Spec, record io.Writer) (*ClusterReport, error) {
-	sim := simclock.New()
-	gen, err := workload.NewGenerator(spec, sim.Now())
+func RunClusterSpec(spec workload.Spec, record io.Writer, opts ...RunOption) (*ClusterReport, error) {
+	start := simclock.Epoch
+	gen, err := workload.NewGenerator(spec, start)
 	if err != nil {
 		return nil, err
 	}
 	var lw *workload.LogWriter
 	if record != nil {
-		if lw, err = workload.NewLogWriter(record, spec, sim.Now()); err != nil {
+		if lw, err = workload.NewLogWriter(record, spec, start); err != nil {
 			return nil, err
 		}
 	}
-	return runCluster(sim, spec, gen, lw)
+	return runCluster(start, spec, gen, lw, opts)
 }
 
 // ReplayClusterLog replays a recorded submission log through a cluster
 // rebuilt from the spec embedded in the log header. A replay is
 // byte-equivalent to the run that recorded the log: same placement,
 // same accounting totals, same energy.
-func ReplayClusterLog(r io.Reader) (*ClusterReport, error) {
+func ReplayClusterLog(r io.Reader, opts ...RunOption) (*ClusterReport, error) {
 	lr, err := workload.NewLogReader(r)
 	if err != nil {
 		return nil, err
 	}
-	return runCluster(simclock.NewAt(lr.Start()), lr.Spec(), lr, nil)
+	return runCluster(lr.Start(), lr.Spec(), lr, nil, opts)
 }
 
 // clusterSeedStride decorrelates per-node noise seeds derived from the
 // spec seed (the same odd-constant mixing the benchmark pool uses).
 const clusterSeedStride = 0x9e3779b9
 
-// runCluster builds the cluster the spec describes and pumps the
-// submission source through it under one shared clock.
+// laneWindow is the conservative lookahead of the parallel partition
+// lanes: within one window, every lane advances independently; at the
+// barrier, cross-lane state (fair-share usage) is exchanged. The value
+// is a fixed property of the run semantics — it must never depend on
+// the lane count, or results would too.
+const laneWindow = 5 * time.Minute
+
+// usageDelta is one fair-share usage increment exported by a lane for
+// replication into its siblings at the next barrier.
+type usageDelta struct {
+	uid  uint32
+	cpuS float64
+}
+
+// clusterLane is one partition's slice of the cluster: its own
+// simulated clock, a single-partition controller over the partition's
+// dedicated nodes, and the window-local buffers the coordinator
+// exchanges at barriers. Partitions in the committed specs share no
+// nodes, so between barriers a lane's state is touched by exactly one
+// goroutine.
+type clusterLane struct {
+	name  string
+	sim   *simclock.Sim
+	ctl   *slurm.Controller
+	stats *PartitionReport
+
+	batch    []workload.Submission // this window's arrivals, stream order
+	usage    []usageDelta          // usage accrued this window (sink output)
+	rejected int                   // submissions the controller refused
+
+	// desc is the lane's reusable job description: runWindow rewrites
+	// the per-submission fields in place and submits by pointer, so the
+	// ~250-byte struct is built and copied once per submission instead
+	// of three times. Fields not listed in runWindow stay zero.
+	desc slurm.JobDesc
+}
+
+// runWindow advances the lane to the window boundary, admitting this
+// window's arrivals at their exact instants. Queue depth is sampled
+// right after each Submit — with batched scheduling the new job is
+// still pending at that point, so the peak includes it.
+func (ln *clusterLane) runWindow(windowEnd time.Time) {
+	for i := range ln.batch {
+		s := &ln.batch[i]
+		ln.sim.RunUntil(s.At)
+		d := &ln.desc
+		d.Name = s.JobName
+		d.Comment = s.Comment
+		d.NumTasks = s.Tasks
+		d.ThreadsPerCPU = s.ThreadsPerCPU
+		d.TimeLimit = s.TimeLimit
+		d.Partition = ln.name
+		d.UserID = s.UserID
+		d.Shape = &s.Shape
+		if _, err := ln.ctl.SubmitDesc(d); err != nil {
+			ln.rejected++
+		} else {
+			ln.stats.Submitted++
+			if depth := ln.ctl.QueueDepth(ln.name); depth > ln.stats.PeakQueueDepth {
+				ln.stats.PeakQueueDepth = depth
+			}
+		}
+		// Run the deferred scheduling pass once per distinct arrival
+		// instant (batched mode queues, Flush places).
+		if i+1 == len(ln.batch) || !ln.batch[i+1].At.Equal(s.At) {
+			ln.ctl.Flush()
+		}
+	}
+	ln.batch = ln.batch[:0]
+	ln.sim.RunBefore(windowEnd)
+}
+
+// runCluster builds one lane per partition and pumps the submission
+// source through them in conservative time windows.
 //
-// Submissions enter through a single event chain — each submission's
-// event schedules the next one — so the event heap holds one pending
-// submission at a time and, crucially, same-instant tie-breaking
-// between submissions and job completions is identical between a
-// generated run and its replay.
-func runCluster(sim *simclock.Sim, spec workload.Spec, src workload.Source, lw *workload.LogWriter) (*ClusterReport, error) {
-	conf := slurm.DefaultConf()
-	conf.ClusterName = spec.Name
-	conf.Partitions = nil
-	for _, ps := range spec.Cluster.Partitions {
-		conf.Partitions = append(conf.Partitions, slurm.Partition{
-			Name:    ps.Name,
-			MaxTime: ps.MaxTime.Std(),
-			Default: ps.Default,
-		})
+// The coordinator pulls the source serially — the stream stays in
+// arrival order for recording and Seq assignment — and routes each
+// submission to its partition's lane. Lanes then advance through the
+// window concurrently (bounded by WithLanes) and meet at the barrier,
+// where fair-share usage deltas are replicated into sibling lanes in
+// partition-config order. Every step is deterministic and none depends
+// on the lane count, so a run, its replay, and any -lanes setting
+// produce byte-identical reports and logs.
+func runCluster(start time.Time, spec workload.Spec, src workload.Source, lw *workload.LogWriter, opts []RunOption) (*ClusterReport, error) {
+	var rcfg runConfig
+	for _, opt := range opts {
+		opt(&rcfg)
 	}
 
 	calib := perfmodel.Default()
 	spec0 := hw.DefaultSpec()
-	opts := []slurm.ClusterOption{slurm.WithAggregateAccounting()}
-	var nodes []*hw.Node
+	var nodes []*hw.Node // global construction order: spec order, for energy totals
+	lanes := make([]*clusterLane, 0, len(spec.Cluster.Partitions))
+	laneByName := make(map[string]*clusterLane, len(spec.Cluster.Partitions))
+
+	report := &ClusterReport{Spec: spec.Name, Seed: spec.Seed}
+	report.Partitions = make([]PartitionReport, len(spec.Cluster.Partitions))
+
+	if len(spec.Cluster.Partitions) == 0 {
+		return nil, fmt.Errorf("ecosched: spec %q has no partitions", spec.Name)
+	}
+	defaultPart := spec.Cluster.Partitions[0].Name
 	idx := 0
-	for _, ps := range spec.Cluster.Partitions {
+	for pi, ps := range spec.Cluster.Partitions {
+		if ps.Default {
+			defaultPart = ps.Name
+		}
+		laneSim := simclock.NewAt(start)
 		pool := make([]*hw.Node, ps.Nodes)
 		for i := range pool {
 			ns := spec0
 			ns.Name = fmt.Sprintf("%s-%04d", ps.Name, i+1)
-			pool[i] = hw.NewNode(sim, ns, calib, spec.Seed+uint64(idx)*clusterSeedStride+1)
+			pool[i] = hw.NewNode(laneSim, ns, calib, spec.Seed+uint64(idx)*clusterSeedStride+1)
 			idx++
 		}
 		nodes = append(nodes, pool...)
-		opts = append(opts, slurm.WithPartitionNodes(ps.Name, pool...))
+
+		conf := slurm.DefaultConf()
+		conf.ClusterName = spec.Name
+		conf.Partitions = []slurm.Partition{{
+			Name:    ps.Name,
+			MaxTime: ps.MaxTime.Std(),
+			Default: true,
+		}}
+
+		report.Partitions[pi] = PartitionReport{Name: ps.Name, Nodes: ps.Nodes}
+		ln := &clusterLane{name: ps.Name, sim: laneSim, stats: &report.Partitions[pi]}
+
+		copts := []slurm.ClusterOption{
+			slurm.WithPartitionNodes(ps.Name, pool...),
+			slurm.WithAggregateAccounting(),
+			slurm.WithBatchedScheduling(),
+			slurm.WithUsageSink(func(uid uint32, cpuS float64) {
+				ln.usage = append(ln.usage, usageDelta{uid: uid, cpuS: cpuS})
+			}),
+		}
 		if ps.Policy == "multifactor" {
-			opts = append(opts, slurm.WithPartitionPolicy(ps.Name, slurm.DefaultMultifactor(spec0.Cores)))
+			copts = append(copts, slurm.WithPartitionPolicy(ps.Name, slurm.DefaultMultifactor(spec0.Cores)))
 		}
-	}
-
-	cluster, err := slurm.NewCluster(sim, conf, opts...)
-	if err != nil {
-		return nil, err
-	}
-
-	report := &ClusterReport{Spec: spec.Name, Seed: spec.Seed, Nodes: len(nodes)}
-	stats := make(map[string]*PartitionReport, len(spec.Cluster.Partitions))
-	report.Partitions = make([]PartitionReport, len(spec.Cluster.Partitions))
-	for i, ps := range spec.Cluster.Partitions {
-		report.Partitions[i] = PartitionReport{Name: ps.Name, Nodes: ps.Nodes}
-		stats[ps.Name] = &report.Partitions[i]
-	}
-	defaultPart := conf.DefaultPartition().Name
-
-	cluster.OnCompletion(func(j *slurm.Job) {
-		p := stats[j.Desc.Partition]
-		if p == nil {
-			return
+		ctl, err := slurm.NewCluster(laneSim, conf, copts...)
+		if err != nil {
+			return nil, err
 		}
-		switch j.State {
-		case slurm.StateCompleted:
-			p.Completed++
-		case slurm.StateFailed:
-			p.Failed++
-		case slurm.StateCancelled:
-			p.Cancelled++
-		}
-		p.SystemKJ += j.SystemJ / 1000
-	})
-
-	var pumpErr error
-	submit := func(s workload.Submission) {
-		if lw != nil {
-			if err := lw.Record(s); err != nil && pumpErr == nil {
-				pumpErr = err
+		ln.ctl = ctl
+		stats := ln.stats
+		ctl.OnCompletion(func(j *slurm.Job) {
+			switch j.State {
+			case slurm.StateCompleted:
+				stats.Completed++
+			case slurm.StateFailed:
+				stats.Failed++
+			case slurm.StateCancelled:
+				stats.Cancelled++
 			}
-		}
-		report.Submissions++
-		part := s.Partition
-		if part == "" {
-			part = defaultPart
-		}
-		shape := s.Shape
-		_, err := cluster.Submit(slurm.JobDesc{
-			Name:          s.JobName,
-			Comment:       s.Comment,
-			NumTasks:      s.Tasks,
-			ThreadsPerCPU: s.ThreadsPerCPU,
-			TimeLimit:     s.TimeLimit,
-			Partition:     s.Partition,
-			UserID:        s.UserID,
-			Shape:         &shape,
+			stats.SystemKJ += j.SystemJ / 1000
 		})
-		if err != nil {
-			report.Rejected++
-			return
-		}
-		if p := stats[part]; p != nil {
-			p.Submitted++
-			if depth := cluster.QueueDepth(part); depth > p.PeakQueueDepth {
-				p.PeakQueueDepth = depth
+		lanes = append(lanes, ln)
+		laneByName[ps.Name] = ln
+	}
+	report.Nodes = len(nodes)
+
+	// laneFor resolves a partition's lane. With a handful of lanes a
+	// name scan beats hashing the string on every submission.
+	laneFor := func(name string) *clusterLane {
+		if len(lanes) <= 4 {
+			for _, ln := range lanes {
+				if ln.name == name {
+					return ln
+				}
 			}
+			return nil
+		}
+		return laneByName[name]
+	}
+
+	workers := rcfg.lanes
+	if workers <= 0 {
+		workers = len(lanes)
+		if p := runtime.GOMAXPROCS(0); p < workers {
+			workers = p
 		}
 	}
 
-	var pump func(s workload.Submission)
-	pump = func(s workload.Submission) {
-		submit(s)
-		next, ok, err := src.Next()
-		if err != nil {
-			if pumpErr == nil {
-				pumpErr = err
-			}
-			return
+	// Pull one submission ahead so the window loop can see whether the
+	// next arrival belongs to the current window. The generator's
+	// fill-in-place fast path spares a Submission copy per pull.
+	var pending workload.Submission
+	pullInto, hasInto := src.(workload.IntoSource)
+	nextSub := func() (bool, error) {
+		if hasInto {
+			return pullInto.NextInto(&pending)
 		}
-		if ok {
-			sim.At(next.At, func() { pump(next) })
-		}
+		s, ok, err := src.Next()
+		pending = s
+		return ok, err
 	}
-
-	start := sim.Now()
-	first, ok, err := src.Next()
+	ok, err := nextSub()
 	if err != nil {
 		return nil, err
 	}
-	if ok {
-		sim.At(first.At, func() { pump(first) })
-	}
-	sim.Run()
-	if pumpErr != nil {
-		return nil, pumpErr
+	lastArrival := start
+
+	windowEnd := start
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for {
+		windowEnd = windowEnd.Add(laneWindow)
+
+		// Route this window's arrivals (At < windowEnd, strictly: the
+		// boundary instant belongs to the next window).
+		for ok && pending.At.Before(windowEnd) {
+			if lw != nil {
+				if err := lw.Record(pending); err != nil {
+					return nil, err
+				}
+			}
+			report.Submissions++
+			lastArrival = pending.At
+			part := pending.Partition
+			if part == "" {
+				part = defaultPart
+			}
+			if ln := laneFor(part); ln != nil {
+				ln.batch = append(ln.batch, pending)
+			} else {
+				report.Rejected++
+			}
+			if ok, err = nextSub(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Advance each active lane through the window; idle lanes (no
+		// arrivals, no pending events) skip it entirely.
+		active := 0
+		for _, ln := range lanes {
+			if len(ln.batch) == 0 && ln.sim.Pending() == 0 {
+				continue
+			}
+			active++
+			if workers == 1 {
+				// One worker degenerates to lane-order serial execution;
+				// running inline skips a goroutine hop per lane per window.
+				ln.runWindow(windowEnd)
+				continue
+			}
+			wg.Add(1)
+			go func(ln *clusterLane) {
+				defer wg.Done()
+				sem <- struct{}{}
+				ln.runWindow(windowEnd)
+				<-sem
+			}(ln)
+		}
+		wg.Wait()
+
+		// Barrier: replicate each lane's fair-share deltas into every
+		// sibling, in partition-config order — the one piece of
+		// cross-partition state.
+		for _, ln := range lanes {
+			if len(ln.usage) == 0 {
+				continue
+			}
+			for _, other := range lanes {
+				if other == ln {
+					continue
+				}
+				for _, d := range ln.usage {
+					other.ctl.AddUsage(d.uid, d.cpuS)
+				}
+			}
+			ln.usage = ln.usage[:0]
+		}
+
+		if !ok && active == 0 {
+			break
+		}
 	}
 	if lw != nil {
 		if err := lw.Flush(); err != nil {
@@ -257,8 +422,34 @@ func runCluster(sim *simclock.Sim, spec workload.Spec, src workload.Source, lw *
 		}
 	}
 
-	report.Totals = cluster.Accounting().Totals()
-	report.Makespan = sim.Now().Sub(start)
+	// Makespan: the last instant anything happened — the last lane
+	// event or the last (possibly rejected) arrival. Advance every lane
+	// clock to it so node energy integrates over the same interval on
+	// all lanes.
+	last := lastArrival
+	for _, ln := range lanes {
+		if le := ln.sim.LastEventAt(); le.After(last) {
+			last = le
+		}
+	}
+	for _, ln := range lanes {
+		ln.sim.RunUntil(last)
+	}
+	report.Makespan = last.Sub(start)
+
+	for _, ln := range lanes {
+		report.Rejected += ln.rejected
+		t := ln.ctl.Accounting().Totals()
+		report.Totals.Jobs += t.Jobs
+		report.Totals.Completed += t.Completed
+		report.Totals.Failed += t.Failed
+		report.Totals.Cancelled += t.Cancelled
+		report.Totals.SystemKJ += t.SystemKJ
+		report.Totals.CPUKJ += t.CPUKJ
+		report.Totals.CPUSeconds += t.CPUSeconds
+		report.Totals.RuntimeSeconds += t.RuntimeSeconds
+		report.Totals.WaitSeconds += t.WaitSeconds
+	}
 	for _, n := range nodes {
 		sysJ, cpuJ := n.EnergyJ()
 		report.ClusterSystemKJ += sysJ / 1000

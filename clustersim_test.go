@@ -77,6 +77,53 @@ func TestClusterReplayFidelity(t *testing.T) {
 	}
 }
 
+// TestClusterLanesEquivalence is the parallel-lane determinism
+// contract: the report, its rendered text, and the recorded submission
+// log are byte-identical at every -lanes setting, because lane
+// concurrency only changes which goroutine advances a partition
+// between window barriers, never the order of anything observable.
+func TestClusterLanesEquivalence(t *testing.T) {
+	spec := loadSpec(t, "race-smoke.json")
+
+	type result struct {
+		report *ClusterReport
+		log    []byte
+		text   []byte
+	}
+	var base result
+	for i, lanes := range []int{1, 4, 8} {
+		var log bytes.Buffer
+		run, err := RunClusterSpec(spec, &log, WithLanes(lanes))
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		var text bytes.Buffer
+		run.WriteText(&text)
+		if i == 0 {
+			base = result{report: run, log: log.Bytes(), text: text.Bytes()}
+			continue
+		}
+		if !reflect.DeepEqual(base.report, run) {
+			t.Errorf("lanes=%d report diverges from lanes=1:\n%+v\nvs\n%+v", lanes, base.report, run)
+		}
+		if !bytes.Equal(base.log, log.Bytes()) {
+			t.Errorf("lanes=%d recorded log is not byte-identical to lanes=1", lanes)
+		}
+		if !bytes.Equal(base.text, text.Bytes()) {
+			t.Errorf("lanes=%d rendered report is not byte-identical to lanes=1", lanes)
+		}
+	}
+
+	// Replay under a different lane count than the recording ran with.
+	replayed, err := ReplayClusterLog(bytes.NewReader(base.log), WithLanes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.report, replayed) {
+		t.Fatalf("lanes=8 replay diverges from lanes=1 run:\n%+v\nvs\n%+v", base.report, replayed)
+	}
+}
+
 // TestDifferentSeedDiverges guards against a generator that ignores
 // its seed.
 func TestDifferentSeedDiverges(t *testing.T) {

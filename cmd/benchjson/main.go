@@ -6,10 +6,18 @@
 //
 //	go test -run XXX -bench . -benchmem ./... | benchjson > BENCH_2026-01-01.json
 //	chronus -data DIR loadgen -bench | benchjson -append BENCH_2026-01-01.json
+//	benchjson -compare BENCH_old.json BENCH_new.json
 //
 // -append merges the parsed rows into an existing report (created when
 // absent), so out-of-band harness runs — the loadgen SLO rows — land in
 // the same committed document as the micro-benchmarks.
+//
+// -compare diffs two reports benchmark by benchmark and exits non-zero
+// when any shared benchmark regressed beyond the thresholds
+// (-max-slowdown on ns/op, -max-alloc-increase on allocs/op), which is
+// what `make bench-compare` runs in CI to guard perf work. When a file
+// carries several rows for one benchmark (appended history), the last
+// row — the most recent run — is the one compared.
 //
 // The output captures the run environment (goos/goarch/cpu), and for
 // every benchmark its package, iteration count and all reported
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,7 +57,25 @@ type Report struct {
 
 func main() {
 	appendPath := flag.String("append", "", "merge parsed rows into this JSON report (created if absent) instead of writing to stdout")
+	compare := flag.Bool("compare", false, "compare two report files (old.json new.json); exit 1 on regression beyond thresholds")
+	maxSlowdown := flag.Float64("max-slowdown", 0.30, "with -compare: allowed fractional ns/op increase before failing")
+	maxAllocIncrease := flag.Float64("max-alloc-increase", 0.10, "with -compare: allowed fractional allocs/op increase before failing")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := compareReports(flag.Arg(0), flag.Arg(1), *maxSlowdown, *maxAllocIncrease, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	report, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -99,6 +126,93 @@ func appendReport(path string, report *Report) error {
 		return err
 	}
 	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// loadReport reads a benchjson document from disk.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// latestByName keeps the last row per (package, name) — with appended
+// history, the most recent measurement of each benchmark.
+func latestByName(r *Report) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		out[b.Package+"."+b.Name] = b
+	}
+	return out
+}
+
+// compareReports diffs the shared benchmarks of two report files and
+// reports whether the new run stays within the regression thresholds.
+// Benchmarks present in only one file are noted but never fail the
+// comparison — adding or retiring a benchmark is not a regression.
+func compareReports(oldPath, newPath string, maxSlowdown, maxAllocIncrease float64, w io.Writer) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldRows, newRows := latestByName(oldRep), latestByName(newRep)
+
+	keys := make([]string, 0, len(oldRows))
+	for k := range oldRows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	ok := true
+	shared := 0
+	for _, k := range keys {
+		o := oldRows[k]
+		n, both := newRows[k]
+		if !both {
+			fmt.Fprintf(w, "  %-60s only in %s\n", k, oldPath)
+			continue
+		}
+		shared++
+		for metric, limit := range map[string]float64{
+			"ns/op":     maxSlowdown,
+			"allocs/op": maxAllocIncrease,
+		} {
+			ov, n1 := o.Metrics[metric]
+			nv, n2 := n.Metrics[metric]
+			if !n1 || !n2 || ov <= 0 {
+				continue
+			}
+			delta := nv/ov - 1
+			verdict := "ok"
+			if delta > limit {
+				verdict = "REGRESSION"
+				ok = false
+			}
+			fmt.Fprintf(w, "  %-60s %-9s %14.0f -> %14.0f  %+7.1f%%  (limit %+.0f%%)  %s\n",
+				k, metric, ov, nv, 100*delta, 100*limit, verdict)
+		}
+	}
+	for k := range newRows {
+		if _, both := oldRows[k]; !both {
+			fmt.Fprintf(w, "  %-60s only in %s\n", k, newPath)
+		}
+	}
+	if shared == 0 {
+		return false, fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	if !ok {
+		fmt.Fprintln(w, "benchjson: regression beyond threshold")
+	}
+	return ok, nil
 }
 
 // parse consumes go-test benchmark output. Non-benchmark lines (PASS,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -107,6 +108,105 @@ func TestAppendReport(t *testing.T) {
 	if last.Metrics["slo-attainment"] != 0.999 {
 		t.Fatalf("appended metrics = %+v", last.Metrics)
 	}
+}
+
+// writeReport marshals rows into a report file for compare tests.
+func writeReport(t *testing.T, dir, name string, rows ...Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{Benchmarks: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func row(name string, nsop, allocs float64) Benchmark {
+	return Benchmark{
+		Name:    name,
+		Package: "ecosched",
+		Metrics: map[string]float64{"ns/op": nsop, "allocs/op": allocs},
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json",
+		row("BenchmarkA", 1000, 100),
+		row("BenchmarkRetired", 50, 1))
+
+	t.Run("within thresholds", func(t *testing.T) {
+		newPath := writeReport(t, dir, "new-ok.json",
+			row("BenchmarkA", 1200, 105), // +20% ns/op, +5% allocs
+			row("BenchmarkAdded", 7, 0))
+		var out strings.Builder
+		ok, err := compareReports(oldPath, newPath, 0.30, 0.10, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("flagged a within-threshold run:\n%s", out.String())
+		}
+		// One-sided rows are noted but never fail the comparison.
+		if !strings.Contains(out.String(), "BenchmarkRetired") ||
+			!strings.Contains(out.String(), "BenchmarkAdded") {
+			t.Fatalf("one-sided rows not reported:\n%s", out.String())
+		}
+	})
+
+	t.Run("ns/op regression", func(t *testing.T) {
+		newPath := writeReport(t, dir, "new-slow.json",
+			row("BenchmarkA", 1400, 100)) // +40% ns/op
+		var out strings.Builder
+		ok, err := compareReports(oldPath, newPath, 0.30, 0.10, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("missed a 40%% slowdown:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "REGRESSION") {
+			t.Fatalf("no REGRESSION verdict in output:\n%s", out.String())
+		}
+	})
+
+	t.Run("allocs/op regression", func(t *testing.T) {
+		newPath := writeReport(t, dir, "new-allocs.json",
+			row("BenchmarkA", 1000, 120)) // +20% allocs
+		ok, err := compareReports(oldPath, newPath, 0.30, 0.10, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("missed a 20% allocation increase")
+		}
+	})
+
+	t.Run("last row wins", func(t *testing.T) {
+		// Appended history: an early slow row is superseded by the
+		// final fast one, so the comparison must pass.
+		histPath := writeReport(t, dir, "hist.json",
+			row("BenchmarkA", 9000, 900),
+			row("BenchmarkA", 1000, 100))
+		ok, err := compareReports(oldPath, histPath, 0.30, 0.10, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("compared against a superseded row instead of the latest")
+		}
+	})
+
+	t.Run("no shared benchmarks", func(t *testing.T) {
+		newPath := writeReport(t, dir, "new-disjoint.json",
+			row("BenchmarkUnrelated", 1, 0))
+		if _, err := compareReports(oldPath, newPath, 0.30, 0.10, io.Discard); err == nil {
+			t.Fatal("disjoint reports compared without error")
+		}
+	})
 }
 
 func TestParseMalformedLines(t *testing.T) {

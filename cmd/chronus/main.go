@@ -420,6 +420,7 @@ func cmdSimulate(args []string) error {
 	specPath := fs.String("spec", "", "workload spec (JSON) describing the cluster and its clients")
 	recordPath := fs.String("record", "", "record the generated submission stream to this JSONL log")
 	replayPath := fs.String("replay", "", "replay a submission log instead of generating one")
+	lanes := fs.Int("lanes", 0, "max partition lanes advancing concurrently (0 = one per CPU); any setting produces byte-identical output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -437,7 +438,7 @@ func cmdSimulate(args []string) error {
 			return err
 		}
 		defer f.Close()
-		report, err := ecosched.ReplayClusterLog(f)
+		report, err := ecosched.ReplayClusterLog(f, ecosched.WithLanes(*lanes))
 		if err != nil {
 			return err
 		}
@@ -459,7 +460,7 @@ func cmdSimulate(args []string) error {
 		}
 		rec = recFile
 	}
-	report, err := ecosched.RunClusterSpec(spec, rec)
+	report, err := ecosched.RunClusterSpec(spec, rec, ecosched.WithLanes(*lanes))
 	if recFile != nil {
 		if cerr := recFile.Close(); err == nil {
 			err = cerr

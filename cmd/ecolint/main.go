@@ -1,11 +1,11 @@
 // Command ecolint runs the project's analyzer suite (internal/lint):
-// nodeterminism, ctxflow, hotpathio, lockscope, metricname.
+// nodeterminism, ctxflow, hotpathio, lockscope, metricname, eventpool.
 //
 // Two modes:
 //
 //	ecolint [dir]           whole-module mode: load every package of the
 //	                        module rooted at dir (default ".") and run
-//	                        all five analyzers, including the
+//	                        all six analyzers, including the
 //	                        whole-program hot-path traversal. This is
 //	                        what `make lint` runs.
 //

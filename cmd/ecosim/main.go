@@ -29,6 +29,7 @@ func main() {
 	spec := flag.String("spec", "", "cluster-scale mode: run the workload spec at this path instead of the paper story")
 	record := flag.String("record", "", "with -spec: record the generated submission stream to this JSONL log")
 	replay := flag.String("replay", "", "cluster-scale mode: replay a submission log recorded with -record")
+	lanes := flag.Int("lanes", 0, "cluster-scale mode: max partition lanes advancing concurrently (0 = one per CPU); any setting produces byte-identical output")
 	flag.Parse()
 
 	var err error
@@ -38,9 +39,9 @@ func main() {
 	case *replay != "" && *record != "":
 		err = fmt.Errorf("-record only applies to generated runs (-spec)")
 	case *spec != "":
-		err = runSpec(*spec, *record)
+		err = runSpec(*spec, *record, *lanes)
 	case *replay != "":
-		err = runReplay(*replay)
+		err = runReplay(*replay, *lanes)
 	case *record != "":
 		err = fmt.Errorf("-record requires -spec")
 	default:
@@ -54,7 +55,7 @@ func main() {
 
 // runSpec generates the spec's submission stream and runs it through
 // the cluster it describes, optionally recording a replayable log.
-func runSpec(specPath, recordPath string) error {
+func runSpec(specPath, recordPath string, lanes int) error {
 	spec, err := workload.LoadSpec(specPath)
 	if err != nil {
 		return err
@@ -67,7 +68,7 @@ func runSpec(specPath, recordPath string) error {
 		}
 		rec = recFile
 	}
-	report, err := ecosched.RunClusterSpec(spec, rec)
+	report, err := ecosched.RunClusterSpec(spec, rec, ecosched.WithLanes(lanes))
 	if recFile != nil {
 		if cerr := recFile.Close(); err == nil {
 			err = cerr
@@ -83,13 +84,13 @@ func runSpec(specPath, recordPath string) error {
 	return nil
 }
 
-func runReplay(logPath string) error {
+func runReplay(logPath string, lanes int) error {
 	f, err := os.Open(logPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	report, err := ecosched.ReplayClusterLog(f)
+	report, err := ecosched.ReplayClusterLog(f, ecosched.WithLanes(lanes))
 	if err != nil {
 		return err
 	}

@@ -69,14 +69,34 @@ type Node struct {
 	sim   *simclock.Sim
 	rng   *simclock.RNG
 
-	governor      GovernorKind
-	userspaceKHz  int
-	job           *Job
-	jobPhase      float64 // phase offset of the current job's oscillation
+	governor     GovernorKind
+	userspaceKHz int
+	job          *Job
+	jobPhase     float64 // phase offset of the current job's oscillation
+	// jobBaseW/jobAmp/jobStartTick cache the running job's resolved
+	// power model (base package power, oscillation amplitude, start
+	// tick): the job's configuration is immutable while it runs, so the
+	// integrator reads three floats instead of re-deriving them from
+	// the calibration on every accounting step.
+	jobBaseW      float64
+	jobAmp        float64
+	jobStartTick  int64
+	// ladder tabulates the calibration's per-core power and phase
+	// amplitude for every frequency a job can resolve to (the spec
+	// ladder plus the calibrated P-states), so the per-start cache fill
+	// is a short scan instead of map probes and a nearest-P-state
+	// search.
+	ladder []ladderEntry
 	tempC         float64
 	lastT         time.Time
+	lastTick      int64 // lastT as nanosecond ticks (simclock.NowTick)
 	sysJ, cpuJ    float64
 	jobsCompleted int
+	// jobSlot is the reusable Job record handed out by StartJob —
+	// exclusive allocation means at most one is live, so the node owns
+	// a single slot instead of allocating per start (the controller's
+	// dispatch path runs millions of starts per cluster run).
+	jobSlot Job
 }
 
 // Job is an active occupancy of the node.
@@ -99,9 +119,37 @@ func NewNode(sim *simclock.Sim, spec NodeSpec, calib *perfmodel.Calibration, see
 		rng:      simclock.NewRNG(seed),
 		governor: GovernorPerformance,
 		lastT:    sim.Now(),
+		lastTick: sim.NowTick(),
 	}
 	n.tempC = calib.SteadyTempC(calib.IdleCPUPowerW())
+	n.ladder = make([]ladderEntry, 0, len(spec.FrequenciesKHz)+len(calib.PStatesKHz))
+	for _, f := range spec.FrequenciesKHz {
+		n.addLadderEntry(f)
+	}
+	for _, f := range calib.PStatesKHz {
+		n.addLadderEntry(f)
+	}
 	return n
+}
+
+// ladderEntry is one row of the node's per-frequency power table.
+type ladderEntry struct {
+	khz   int
+	coreW float64
+	amp   float64
+}
+
+func (n *Node) addLadderEntry(freqKHz int) {
+	for i := range n.ladder {
+		if n.ladder[i].khz == freqKHz {
+			return
+		}
+	}
+	n.ladder = append(n.ladder, ladderEntry{
+		khz:   freqKHz,
+		coreW: n.calib.CorePowerAt(freqKHz),
+		amp:   n.calib.PhaseAmplitude[n.calib.NearestPState(freqKHz)],
+	})
 }
 
 // Spec returns the node's hardware description.
@@ -166,7 +214,9 @@ func (n *Node) CurrentFreqKHz() int {
 // A zero FreqKHz means "whatever the governor runs", mirroring a job
 // submitted without --cpu-freq. The returned Job must be ended with
 // End; starting a second job while one is active is an error
-// (exclusive allocation).
+// (exclusive allocation). The returned record is valid until End:
+// the node recycles it for the next start, so callers must not retain
+// it past the job's end.
 func (n *Node) StartJob(cfg perfmodel.Config) (*Job, error) {
 	if n.job != nil {
 		return nil, fmt.Errorf("hw: node %s busy", n.spec.Name)
@@ -184,15 +234,44 @@ func (n *Node) StartJob(cfg perfmodel.Config) (*Job, error) {
 		return nil, err
 	}
 	n.advance()
-	j := &Job{node: n, Config: cfg, Start: n.sim.Now()}
+	j := &n.jobSlot
+	*j = Job{node: n, Config: cfg, Start: n.sim.Now()}
 	n.job = j
 	if cfg.FreqKHz == 0 {
 		// Resolve the governor's choice with the load attached: an
 		// ondemand governor ramps to max the moment the job lands.
 		j.Config.FreqKHz = n.CurrentFreqKHz()
 	}
+	n.jobStartTick = n.sim.NowTick()
+	if e := n.ladderEntryFor(j.Config.FreqKHz); e != nil {
+		// Tabulated path, float-identical to CPUPowerW(cfg, 1): the
+		// activity-1 terms are written out with the same operation
+		// order so cached and uncached starts integrate identically.
+		c := n.calib
+		perCore := e.coreW
+		if j.Config.HyperThread() {
+			perCore *= c.HTPowerBump
+		}
+		active := float64(j.Config.Cores) * (c.CoreIdleW + (perCore - c.CoreIdleW))
+		idle := float64(c.TotalCores-j.Config.Cores) * c.CoreIdleW
+		uncore := c.UncoreIdleW + (c.UncoreW - c.UncoreIdleW)
+		n.jobBaseW = uncore + active + idle
+		n.jobAmp = e.amp
+	} else {
+		n.jobBaseW = n.calib.CPUPowerW(j.Config, 1)
+		n.jobAmp = n.calib.PhaseAmplitude[n.calib.NearestPState(j.Config.FreqKHz)]
+	}
 	n.jobPhase = n.rng.Float64() * 2 * math.Pi
 	return j, nil
+}
+
+func (n *Node) ladderEntryFor(freqKHz int) *ladderEntry {
+	for i := range n.ladder {
+		if n.ladder[i].khz == freqKHz {
+			return &n.ladder[i]
+		}
+	}
+	return nil
 }
 
 // End releases the node. Ending twice is a no-op.
@@ -212,61 +291,51 @@ func (n *Node) ActiveJob() *Job { return n.job }
 // JobsCompleted counts jobs that have ended on this node.
 func (n *Node) JobsCompleted() int { return n.jobsCompleted }
 
-// cpuPowerAt returns instantaneous CPU package power at offset t
-// seconds into the current accounting interval.
-func (n *Node) cpuPowerAt(at time.Time) float64 {
+// cpuPowerAt returns instantaneous CPU package power at the given
+// simulated tick (nanoseconds, simclock.NowTick domain).
+func (n *Node) cpuPowerAt(at int64) float64 {
 	if n.job == nil {
 		return n.calib.IdleCPUPowerW()
 	}
-	base := n.calib.CPUPowerW(n.job.Config, 1)
-	amp := n.phaseAmplitude()
-	if amp == 0 {
-		return base
+	if n.jobAmp == 0 {
+		return n.jobBaseW
 	}
-	t := at.Sub(n.job.Start).Seconds()
+	t := time.Duration(at - n.jobStartTick).Seconds()
 	osc := math.Sin(2*math.Pi*t/n.calib.PhasePeriodS + n.jobPhase)
-	return base * (1 + amp*osc)
+	return n.jobBaseW * (1 + n.jobAmp*osc)
 }
 
-// meanCPUPower integrates cpuPowerAt over [a, b] in closed form.
-func (n *Node) meanCPUPower(a, b time.Time) float64 {
-	dt := b.Sub(a).Seconds()
-	if dt <= 0 {
+// meanCPUPower integrates cpuPowerAt over the tick interval [a, b] in
+// closed form.
+func (n *Node) meanCPUPower(a, b int64) float64 {
+	if b <= a {
 		return n.cpuPowerAt(a)
 	}
 	if n.job == nil {
 		return n.calib.IdleCPUPowerW()
 	}
-	base := n.calib.CPUPowerW(n.job.Config, 1)
-	amp := n.phaseAmplitude()
-	if amp == 0 {
-		return base
+	if n.jobAmp == 0 {
+		return n.jobBaseW
 	}
+	dt := time.Duration(b - a).Seconds()
 	w := 2 * math.Pi / n.calib.PhasePeriodS
-	t0 := a.Sub(n.job.Start).Seconds()
-	t1 := b.Sub(n.job.Start).Seconds()
+	t0 := time.Duration(a - n.jobStartTick).Seconds()
+	t1 := time.Duration(b - n.jobStartTick).Seconds()
 	// ∫ sin(w·t+φ) dt = (cos(w·t0+φ) − cos(w·t1+φ)) / w
 	integral := (math.Cos(w*t0+n.jobPhase) - math.Cos(w*t1+n.jobPhase)) / w
-	return base * (1 + amp*integral/dt)
-}
-
-func (n *Node) phaseAmplitude() float64 {
-	if n.job == nil {
-		return 0
-	}
-	return n.calib.PhaseAmplitude[n.calib.NearestPState(n.job.Config.FreqKHz)]
+	return n.jobBaseW * (1 + n.jobAmp*integral/dt)
 }
 
 // advance integrates power, energy and temperature from the last
 // accounting instant to now. It is called before every state change
 // and every sensor read, so observers always see a consistent state.
 func (n *Node) advance() {
-	now := n.sim.Now()
-	dt := now.Sub(n.lastT).Seconds()
-	if dt <= 0 {
+	nowTick := n.sim.NowTick()
+	if nowTick <= n.lastTick {
 		return
 	}
-	meanCPU := n.meanCPUPower(n.lastT, now)
+	dt := time.Duration(nowTick - n.lastTick).Seconds()
+	meanCPU := n.meanCPUPower(n.lastTick, nowTick)
 	tss := n.calib.SteadyTempC(meanCPU)
 	tau := n.calib.ThermalTauS
 
@@ -287,13 +356,14 @@ func (n *Node) advance() {
 	n.cpuJ += cpuJ
 	n.sysJ += sysJ
 	n.tempC = tss - (tss-tStart)*decay
-	n.lastT = now
+	n.lastT = n.sim.Now()
+	n.lastTick = nowTick
 }
 
 // CPUPowerW returns the instantaneous CPU package power.
 func (n *Node) CPUPowerW() float64 {
 	n.advance()
-	return n.cpuPowerAt(n.sim.Now())
+	return n.cpuPowerAt(n.sim.NowTick())
 }
 
 // CPUTempC returns the instantaneous CPU temperature.
@@ -306,7 +376,7 @@ func (n *Node) CPUTempC() float64 {
 // the BMC's Total_Power sensor reports.
 func (n *Node) SystemPowerW() float64 {
 	n.advance()
-	return n.calib.SystemPowerW(n.cpuPowerAt(n.sim.Now()), n.tempC)
+	return n.calib.SystemPowerW(n.cpuPowerAt(n.sim.NowTick()), n.tempC)
 }
 
 // WallPowerW returns what a wattmeter on the PSU inputs reads: total

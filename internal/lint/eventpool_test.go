@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestEventPool(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{EventPool}, "eventpool", "simclock", "other")
+}

@@ -24,6 +24,10 @@
 //   - metricname: metric and span names are package-level constants in
 //     the chronus.* namespace, so the Prometheus exposition surface is
 //     greppable and stable.
+//   - eventpool: internal/simclock's pooled event records must not be
+//     used after release, and only alloc/release may touch the free
+//     list — the calendar queue's zero-allocation hot loop depends on
+//     the recycling contract holding everywhere.
 //
 // A diagnostic can be suppressed with a comment on the preceding line
 // (or the same line, or a function's doc comment):
@@ -158,6 +162,7 @@ func All() []*Analyzer {
 		HotPathIO,
 		LockScope,
 		MetricName,
+		EventPool,
 	}
 }
 

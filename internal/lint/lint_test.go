@@ -32,7 +32,7 @@ func TestAllStable(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	want := "nodeterminism,ctxflow,hotpathio,lockscope,metricname"
+	want := "nodeterminism,ctxflow,hotpathio,lockscope,metricname,eventpool"
 	if got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
 	}

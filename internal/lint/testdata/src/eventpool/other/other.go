@@ -1,0 +1,20 @@
+// Package other is outside EventPoolPackages: the same shapes must
+// produce no findings, because pools elsewhere have their own
+// contracts.
+package other
+
+type event struct{ seq uint64 }
+
+type pool struct{ free []*event }
+
+func (p *pool) release(ev *event) { p.free = append(p.free, ev) }
+
+func (p *pool) UseAfter() uint64 {
+	ev := &event{}
+	p.release(ev)
+	return ev.seq // ok: not a checked package
+}
+
+func (p *pool) Hoard(ev *event) {
+	p.free = append(p.free, ev) // ok: not a checked package
+}

@@ -1,0 +1,108 @@
+// Package simclock mirrors the real calendar-queue pool surface: a
+// free list of event records, alloc/release, and consumers that do
+// and do not respect the recycling contract.
+package simclock
+
+type event struct {
+	seq  uint64
+	next *event
+}
+
+type Sim struct {
+	free    []*event
+	pending int
+}
+
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (s *Sim) release(ev *event) {
+	*ev = event{}
+	s.free = append(s.free, ev)
+}
+
+// BadRead reads a field after the record went back to the pool.
+func (s *Sim) BadRead() uint64 {
+	ev := s.alloc()
+	ev.seq = 7
+	s.release(ev)
+	return ev.seq // want `pooled event ev used after release`
+}
+
+// BadDouble releases the same record twice.
+func (s *Sim) BadDouble() {
+	ev := s.alloc()
+	s.release(ev)
+	s.release(ev) // want `pooled event ev used after release`
+}
+
+// BadRetain stashes a released record where a later alloc will find
+// it live.
+func (s *Sim) BadRetain() *event {
+	ev := s.alloc()
+	s.release(ev)
+	return ev // want `pooled event ev used after release`
+}
+
+// BadHoard grows the free list without going through release — the
+// record's fields never get scrubbed.
+func (s *Sim) BadHoard(ev *event) {
+	s.free = append(s.free, ev) // want `free list may only be touched by alloc and release`
+}
+
+// BadCapture hands a released record to a closure that outlives it.
+func (s *Sim) BadCapture() func() uint64 {
+	ev := s.alloc()
+	s.release(ev)
+	return func() uint64 { return ev.seq } // want `pooled event ev used after release`
+}
+
+// GoodCopyOut copies fields before releasing — the pattern the rule
+// exists to enforce.
+func (s *Sim) GoodCopyOut() uint64 {
+	ev := s.alloc()
+	ev.seq = 9
+	seq := ev.seq
+	s.release(ev)
+	return seq
+}
+
+// GoodReassign recycles the variable for a fresh record.
+func (s *Sim) GoodReassign() *event {
+	ev := s.alloc()
+	s.release(ev)
+	ev = s.alloc()
+	return ev
+}
+
+// GoodBranch releases only on the early-return path; the fall-through
+// use is live.
+func (s *Sim) GoodBranch(drop bool) uint64 {
+	ev := s.alloc()
+	if drop {
+		s.release(ev)
+		return 0
+	}
+	seq := ev.seq
+	s.release(ev)
+	return seq
+}
+
+// GoodInline hands a popped record straight back without a variable.
+func (s *Sim) GoodInline() {
+	s.release(s.alloc())
+}
+
+// GoodIgnored documents why the post-release use is safe here.
+func (s *Sim) GoodIgnored() uint64 {
+	ev := s.alloc()
+	s.release(ev)
+	//lint:ignore ecolint/eventpool single-threaded test helper, no alloc between release and read
+	return ev.seq
+}

@@ -259,6 +259,11 @@ func abs(x int) int {
 	return x
 }
 
+// CorePowerAt exposes the per-core active-power interpolation so hot
+// callers (the hw node's per-job cache) can precompute per-frequency
+// tables instead of probing the calibration maps on every job start.
+func (c *Calibration) CorePowerAt(freqKHz int) float64 { return c.corePowerAt(freqKHz) }
+
 // corePowerAt interpolates per-core active power between calibrated
 // P-states (linear in frequency, clamped at the ladder ends).
 func (c *Calibration) corePowerAt(freqKHz int) float64 {

@@ -1,0 +1,59 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+
+	"ecosched/internal/simclock"
+	"ecosched/internal/workload"
+)
+
+// BenchmarkSubmitSteadyState measures the cluster simulator's inner
+// loop from the controller's side: one pooled submission through
+// SubmitDesc, batched scheduling, job execution and aggregate
+// accounting, with the simulator drained to idle each iteration. The
+// alloc-check make target pins it at 0 allocs/op — the job pool, the
+// chunked job arena, the event pool and the aggregate-only accounting
+// keep the whole submit→complete cycle off the heap. (A fresh 8 KiB
+// arena chunk every 8192 job ids is the one amortised allocation;
+// it rounds to zero at any benchtime.)
+func BenchmarkSubmitSteadyState(b *testing.B) {
+	sim := simclock.New()
+	ctl, err := NewCluster(sim, DefaultConf(),
+		WithNodes(clusterNodes(sim, 4)...),
+		WithAggregateAccounting(),
+		WithBatchedScheduling(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape := workload.Sleep("steady", 250*time.Millisecond)
+	desc := JobDesc{
+		Name:      "steady",
+		NumTasks:  32,
+		TimeLimit: time.Hour,
+		UserID:    1000,
+		Shape:     &shape,
+	}
+	run := func() {
+		if _, err := ctl.SubmitDesc(&desc); err != nil {
+			b.Fatal(err)
+		}
+		ctl.Flush() // batched mode: the driver flushes the instant's submissions
+		sim.Run()
+	}
+	// Warm the job pool, event pool, usage slots and the first arena
+	// chunk before measuring.
+	for i := 0; i < 512; i++ {
+		run()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.StopTimer()
+	if got := ctl.Accounting().Totals().Jobs; got < b.N {
+		b.Fatalf("completed %d jobs, want >= %d", got, b.N)
+	}
+}

@@ -1,8 +1,8 @@
 package slurm
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"ecosched/internal/hw"
@@ -34,16 +34,28 @@ type partition struct {
 	// classes are the distinct node capability shapes in the pool, the
 	// O(1)-per-class feasibility check for submissions.
 	classes []hw.NodeSpec
-	// freeHeap holds idle, undrained nodes ordered by construction
-	// index — pop-min reproduces the first-fit placement order of the
-	// original linear node scan without rescanning thousands of busy
-	// nodes on every pass. Entries can go stale when a shared node is
-	// claimed through another partition; stale entries are discarded
-	// lazily on pop (the node's free flag is the source of truth).
-	freeHeap nodeHeap
-	scratch  []*nodeD // takeIdle spill for free nodes that don't satisfy a request
+	// freeBits is a bitmap over the partition-local node slots
+	// (p.nodes order, which follows construction order): bit set =
+	// node idle and undrained. Scanning set bits in slot order
+	// reproduces the first-fit placement order of the original linear
+	// node scan; claims clear the bit in every partition sharing the
+	// node, so there are no stale entries to skip. freeN caches the
+	// population count for the "any node idle?" fast checks.
+	freeBits []uint64
+	freeN    int
 	pending  []*Job
 	busy     int // running jobs occupying this partition's nodes
+	// dirtySched marks a deferred scheduling pass pending for this
+	// partition (batched mode).
+	dirtySched bool
+	// keyed is the policy's priority-function view when it offers one;
+	// orderKeyed then sorts on per-pass cached keys via sorter/prios.
+	// slotKeyed is the further refinement that reads fair-share usage
+	// from the controller's slot-indexed slice instead of the map.
+	keyed     priorityKeyer
+	slotKeyed slotKeyer
+	prios     []float64
+	sorter    prioSorter
 
 	queueGauge  *metrics.Gauge
 	occGauge    *metrics.Gauge
@@ -51,30 +63,46 @@ type partition struct {
 	doneCount   *metrics.Counter
 }
 
-// takeIdle claims the lowest-indexed idle node that satisfies the
-// request, or nil. The claimed node's free flag is cleared; the
-// caller must hand it back through refreeNode if the start fails.
-func (p *partition) takeIdle(desc JobDesc) *nodeD {
-	var found *nodeD
-	for p.freeHeap.Len() > 0 {
-		n := heap.Pop(&p.freeHeap).(*nodeD)
-		if !n.free {
-			continue // claimed through another partition sharing the node
+// takeIdle claims the lowest-slotted idle node that satisfies the
+// request, or nil. The claimed node is unlisted from every partition
+// sharing it; the caller must hand it back through refreeNode if the
+// start fails.
+func (p *partition) takeIdle(desc *JobDesc) *nodeD {
+	for w, word := range p.freeBits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			n := p.nodes[w<<6|b]
+			if nodeSatisfies(n, desc) {
+				unlistFree(n)
+				return n
+			}
 		}
-		if nodeSatisfies(n, desc) {
-			found = n
-			break
-		}
-		p.scratch = append(p.scratch, n)
 	}
-	for _, n := range p.scratch {
-		heap.Push(&p.freeHeap, n)
+	return nil
+}
+
+// listFree marks the node idle and sets its bit in every owning
+// partition's free bitmap. Callers guard on !n.free, keeping the
+// bitmaps and freeN counts exactly in sync with the flag.
+func listFree(n *nodeD) {
+	n.free = true
+	for i, p := range n.parts {
+		slot := n.slots[i]
+		p.freeBits[slot>>6] |= 1 << uint(slot&63)
+		p.freeN++
 	}
-	p.scratch = p.scratch[:0]
-	if found != nil {
-		found.free = false
+}
+
+// unlistFree clears the node's free flag and its bit in every owning
+// partition's bitmap. Callers guard on n.free.
+func unlistFree(n *nodeD) {
+	n.free = false
+	for i, p := range n.parts {
+		slot := n.slots[i]
+		p.freeBits[slot>>6] &^= 1 << uint(slot&63)
+		p.freeN--
 	}
-	return found
 }
 
 // setPolicy installs a scheduling policy and refreshes the FIFO fast
@@ -82,12 +110,19 @@ func (p *partition) takeIdle(desc JobDesc) *nodeD {
 func (p *partition) setPolicy(pol SchedulingPolicy) {
 	p.policy = pol
 	_, p.fifo = pol.(FIFOPolicy)
+	p.keyed, _ = pol.(priorityKeyer)
+	p.slotKeyed, _ = pol.(slotKeyer)
 }
 
-// addNode appends a node to the pool, recording its capability class.
+// addNode appends a node to the pool, recording its capability class
+// and its partition-local bitmap slot.
 func (p *partition) addNode(n *nodeD) {
+	n.slots = append(n.slots, len(p.nodes))
 	p.nodes = append(p.nodes, n)
 	n.parts = append(n.parts, p)
+	if len(p.nodes) > len(p.freeBits)*64 {
+		p.freeBits = append(p.freeBits, 0)
+	}
 	spec := n.hw.Spec()
 	for _, cl := range p.classes {
 		if cl.Cores == spec.Cores && cl.ThreadsPerCore == spec.ThreadsPerCore && cl.RAMGB == spec.RAMGB {
@@ -95,22 +130,6 @@ func (p *partition) addNode(n *nodeD) {
 		}
 	}
 	p.classes = append(p.classes, spec)
-}
-
-// nodeHeap is a min-heap of nodes by construction index.
-type nodeHeap []*nodeD
-
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i].idx < h[j].idx }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*nodeD)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
 }
 
 // ClusterOption configures NewCluster.
@@ -139,6 +158,8 @@ type clusterConfig struct {
 	metrics      *metrics.Registry
 	tracer       *trace.Tracer
 	aggregate    bool
+	batched      bool
+	usageSink    func(uid uint32, cpuSeconds float64)
 	workloads    []workloadOpt
 	fallback     Workload
 }
@@ -190,6 +211,25 @@ func WithAggregateAccounting() ClusterOption {
 	return func(cfg *clusterConfig) { cfg.aggregate = true }
 }
 
+// WithBatchedScheduling defers submission-triggered scheduling passes:
+// submissions mark their partitions dirty and the driver runs one pass
+// per dirty partition by calling Flush after it has queued everything
+// arriving at the instant. Throughput mode for the cluster simulator
+// (drivers that never Flush will stall pending jobs); the default
+// remains synchronous scheduling, where a Submit can return an
+// already-running job.
+func WithBatchedScheduling() ClusterOption {
+	return func(cfg *clusterConfig) { cfg.batched = true }
+}
+
+// WithUsageSink observes every fair-share usage increment the moment
+// accounting applies it. The parallel partition lanes use it to
+// replicate usage deltas into sibling lane controllers at window
+// barriers (AddUsage).
+func WithUsageSink(fn func(uid uint32, cpuSeconds float64)) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.usageSink = fn }
+}
+
 // WithWorkload registers a binary-path → workload-model mapping at
 // construction.
 func WithWorkload(binaryPath string, w Workload) ClusterOption {
@@ -222,16 +262,20 @@ func NewCluster(sim *simclock.Sim, conf Conf, opts ...ClusterOption) (*Controlle
 	c := &Controller{
 		sim:        sim,
 		conf:       conf,
-		jobs:       make(map[int]*Job),
 		nextID:     1,
 		workloads:  make(map[string]Workload),
 		fallback:   SleepWorkload{Label: "unknown", D: time.Minute},
 		acct:       &Accounting{aggregateOnly: cfg.aggregate},
 		policy:     FIFOPolicy{},
 		usage:      make(map[uint32]float64),
+		userSlots:  make(map[uint32]int32),
+		usageSink:  cfg.usageSink,
 		aggregate:  cfg.aggregate,
+		batched:    cfg.batched,
 		partByName: make(map[string]*partition),
 	}
+	c.compAct.c = c
+	c.flushAct.c = c
 	if cfg.policy != nil {
 		c.policy = cfg.policy
 	}
@@ -266,12 +310,12 @@ func NewCluster(sim *simclock.Sim, conf Conf, opts ...ClusterOption) (*Controlle
 			return fmt.Errorf("slurm: duplicate node name %q", name)
 		}
 		seen[name] = true
-		nd := &nodeD{name: name, idx: len(c.nodes), hw: n, free: true}
+		nd := &nodeD{name: name, idx: len(c.nodes), hw: n, spec: n.Spec()}
 		c.nodes = append(c.nodes, nd)
 		for _, p := range parts {
 			p.addNode(nd)
-			heap.Push(&p.freeHeap, nd)
 		}
+		listFree(nd)
 		return nil
 	}
 	for _, n := range cfg.shared {

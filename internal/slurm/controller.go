@@ -1,7 +1,6 @@
 package slurm
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sort"
@@ -102,11 +101,14 @@ type nodeD struct {
 	hwJob   *hw.Job
 	drained bool
 	// free marks the node idle, undrained, and listed in its
-	// partitions' free heaps. A shared node claimed through one
-	// partition clears it; the other heaps discard their stale
-	// entries lazily.
+	// partitions' free bitmaps. Claiming a shared node through one
+	// partition clears the bit everywhere (unlistFree).
 	free  bool
 	parts []*partition
+	// slots[i] is the node's bitmap slot in parts[i].
+	slots []int
+	// spec caches hw.Spec() — read on every placement probe.
+	spec hw.NodeSpec
 	// Governor state saved while a --cpu-freq job pins userspace.
 	savedGovernor hw.GovernorKind
 	pinned        bool
@@ -144,25 +146,69 @@ type Controller struct {
 	parts      []*partition
 	partByName map[string]*partition
 	plugins    []SubmitPlugin
-	jobs       map[int]*Job
-	nextID     int
-	workloads  map[string]Workload
-	fallback   Workload
-	acct       *Accounting
-	onDone     []func(*Job)
-	policy     SchedulingPolicy
-	usage      map[uint32]float64 // user id → consumed CPU-seconds
-	metrics    *metrics.Registry  // nil = unobserved
-	tracer     *trace.Tracer      // nil = untraced
+	// jobs is the arena-indexed job table: job id i lives at
+	// jobs[(i-1)>>jobChunkBits][(i-1)&jobChunkMask]. Ids are assigned
+	// monotonically and never reused, so the hot dispatch path resolves
+	// a job with a bounds check and two slice loads instead of a map
+	// probe. Fixed-size chunks grow the table without ever copying or
+	// re-scanning the pointers already placed — at millions of jobs the
+	// doubling slice was half the simulator's allocation volume.
+	// Retired slots are nil.
+	jobs [][]*Job
+	// jobPool recycles retired Job records in aggregate mode, where no
+	// caller retains them past the completion hooks.
+	jobPool []*Job
+	// descScratch is the submission description the plugin chain and
+	// validation operate on. Submit copies its argument here so the
+	// mutable description never escapes to the heap; submissions are
+	// strictly sequential (plugins cannot submit), so one slot is safe.
+	descScratch JobDesc
+	nextID      int
+	workloads map[string]Workload
+	fallback  Workload
+	acct      *Accounting
+	onDone    []func(*Job)
+	policy    SchedulingPolicy
+	usage     map[uint32]float64 // user id → consumed CPU-seconds
+	// userSlots assigns each user id a dense index into usageBy, the
+	// slice mirror of usage that keyed scheduling passes read: a slice
+	// load per pending job instead of a map probe. Both stores receive
+	// the same increments in the same order, so they agree bit-exactly.
+	userSlots map[uint32]int32
+	usageBy   []float64
+	// usageSink, when set, observes every fair-share usage increment
+	// (WithUsageSink) — the hook the parallel partition lanes use to
+	// replicate usage across lane controllers at window barriers.
+	usageSink func(uid uint32, cpuSeconds float64)
+	metrics   *metrics.Registry // nil = unobserved
+	tracer    *trace.Tracer     // nil = untraced
 	// aggregate retires terminal jobs from memory (see
-	// WithAggregateAccounting); retired keeps their final states by id
-	// so dependency resolution still works after retirement.
+	// WithAggregateAccounting); retired keeps their final state codes
+	// by id so dependency resolution still works after retirement.
 	aggregate bool
-	retired   []JobState
+	retired   []uint8
 	// depPending counts queued jobs with afterok dependencies: while
 	// non-zero, any job completion reschedules every partition, since
 	// the dependent may be queued far from the freed node.
 	depPending int
+
+	// batched defers scheduling passes to one flush event per clock
+	// instant (WithBatchedScheduling); dirtyParts counts partitions
+	// awaiting that flush.
+	batched    bool
+	flushArmed bool
+	dirtyParts int
+
+	// Pre-allocated simclock Actions: job completion and the batched
+	// scheduling flush are the two per-job hot events, fired through
+	// these handles with zero per-event allocation.
+	compAct  completeAction
+	flushAct flushAction
+
+	// activePlug caches the slurm.conf-resolved plugin chain;
+	// invalidated by RegisterPlugin.
+	activePlug   []SubmitPlugin
+	activePlugOK bool
 
 	// Cached metric handles (nil-safe; refreshed by SetMetrics) so the
 	// event loop skips the registry's map lookups.
@@ -174,6 +220,52 @@ type Controller struct {
 	mOverruns     *metrics.Counter
 	mChainLatency *metrics.BucketedHistogram
 }
+
+// Retired-state codes: one byte per retired job instead of a
+// JobState string header.
+const (
+	retiredNone uint8 = iota
+	retiredCompleted
+	retiredFailed
+	retiredCancelled
+)
+
+func retireCode(s JobState) uint8 {
+	switch s {
+	case StateCompleted:
+		return retiredCompleted
+	case StateFailed:
+		return retiredFailed
+	default:
+		return retiredCancelled
+	}
+}
+
+func retiredState(code uint8) JobState {
+	switch code {
+	case retiredCompleted:
+		return StateCompleted
+	case retiredFailed:
+		return StateFailed
+	case retiredCancelled:
+		return StateCancelled
+	}
+	return ""
+}
+
+// completeAction fires a job's scheduled completion. The event is
+// uncancellable (simclock fast path), so Fire re-validates against the
+// arena: a job cancelled meanwhile is terminal (or retired to a nil
+// slot) and the stale event is dropped.
+type completeAction struct{ c *Controller }
+
+func (a *completeAction) Fire(arg uint64) { a.c.completeJob(int(arg)) }
+
+// flushAction runs the deferred scheduling passes of the current
+// instant (batched mode).
+type flushAction struct{ c *Controller }
+
+func (a *flushAction) Fire(uint64) { a.c.flushScheduling() }
 
 // NewController builds a controller over the given nodes with the
 // given configuration, all partitions sharing the node pool.
@@ -214,6 +306,7 @@ func (c *Controller) Conf() Conf { return c.conf }
 // plugin only when slurm.conf enables it (paper §3.4.1).
 func (c *Controller) RegisterPlugin(p SubmitPlugin) {
 	c.plugins = append(c.plugins, p)
+	c.activePlugOK = false
 }
 
 // RegisterWorkload maps a binary path to its workload model.
@@ -253,6 +346,14 @@ func (c *Controller) Policy() SchedulingPolicy { return c.policy }
 // fair-share input.
 func (c *Controller) UserUsageCPUSeconds(uid uint32) float64 { return c.usage[uid] }
 
+// AddUsage credits fair-share usage that accrued outside this
+// controller — the lane-barrier replication path. It deliberately does
+// not invoke the usage sink: the delta originated from a sibling
+// controller's sink and echoing it back would double-count.
+func (c *Controller) AddUsage(uid uint32, cpuSeconds float64) {
+	c.addUsage(uid, c.slotFor(uid), cpuSeconds)
+}
+
 // Accounting returns the slurmdbd record store.
 func (c *Controller) Accounting() *Accounting { return c.acct }
 
@@ -264,6 +365,9 @@ func (c *Controller) OnCompletion(fn func(*Job)) {
 
 // QueueDepth reports the pending-queue length of one partition.
 func (c *Controller) QueueDepth(partition string) int {
+	if len(c.parts) == 1 && c.parts[0].name == partition {
+		return len(c.parts[0].pending)
+	}
 	if p, ok := c.partByName[partition]; ok {
 		return len(p.pending)
 	}
@@ -271,9 +375,14 @@ func (c *Controller) QueueDepth(partition string) int {
 }
 
 // activePlugins returns the registered plugins enabled by slurm.conf,
-// in configuration order.
+// in configuration order. The resolved chain is cached — slurm.conf
+// and the registration set change rarely, submissions happen millions
+// of times — and invalidated by RegisterPlugin.
 func (c *Controller) activePlugins() ([]SubmitPlugin, error) {
-	var out []SubmitPlugin
+	if c.activePlugOK {
+		return c.activePlug, nil
+	}
+	out := c.activePlug[:0]
 	for _, name := range c.conf.JobSubmitPlugins {
 		found := false
 		for _, p := range c.plugins {
@@ -287,13 +396,132 @@ func (c *Controller) activePlugins() ([]SubmitPlugin, error) {
 			return nil, fmt.Errorf("slurm: JobSubmitPlugins names %q but no such plugin is registered", name)
 		}
 	}
+	c.activePlug = out
+	c.activePlugOK = true
 	return out, nil
+}
+
+// newJob takes a Job record off the pool (aggregate mode recycles
+// retired ones) or allocates a fresh one. The record comes back
+// zeroed.
+func (c *Controller) newJob() *Job {
+	if n := len(c.jobPool); n > 0 {
+		j := c.jobPool[n-1]
+		c.jobPool = c.jobPool[:n-1]
+		*j = Job{}
+		return j
+	}
+	return &Job{}
+}
+
+// Job-table chunk geometry: 8192 ids per chunk ≈ 64 KB of pointers.
+const (
+	jobChunkBits = 13
+	jobChunkSize = 1 << jobChunkBits
+	jobChunkMask = jobChunkSize - 1
+)
+
+// jobByID resolves a live job from the arena, or nil (unknown id or
+// retired).
+func (c *Controller) jobByID(id int) *Job {
+	if id >= 1 && id < c.nextID {
+		idx := id - 1
+		return c.jobs[idx>>jobChunkBits][idx&jobChunkMask]
+	}
+	return nil
+}
+
+// kick requests a scheduling pass for the partition: immediately in
+// the default mode, or deferred to the instant's flush event in
+// batched mode — many submissions and completions landing on one
+// clock instant then cost one pass per partition instead of one per
+// event.
+func (c *Controller) kick(p *partition) {
+	if !c.batched {
+		c.schedulePart(p)
+		return
+	}
+	if !p.dirtySched {
+		p.dirtySched = true
+		c.dirtyParts++
+	}
+	c.armFlush()
+}
+
+// kickAll requests a pass over every partition.
+func (c *Controller) kickAll() {
+	if !c.batched {
+		c.scheduleAll()
+		return
+	}
+	for _, p := range c.parts {
+		if !p.dirtySched {
+			p.dirtySched = true
+			c.dirtyParts++
+		}
+	}
+	c.armFlush()
+}
+
+// kickSubmit requests a pass after a submission. In batched mode the
+// partition is only marked dirty — no flush event is armed: the
+// submitting driver calls Flush once the instant's submissions are
+// all queued, which costs one pass and zero queue events per instant.
+func (c *Controller) kickSubmit(p *partition) {
+	if !c.batched {
+		c.schedulePart(p)
+		return
+	}
+	if !p.dirtySched {
+		p.dirtySched = true
+		c.dirtyParts++
+	}
+}
+
+// Flush runs any deferred scheduling passes immediately. Batched-mode
+// drivers must call it after queueing an instant's submissions; other
+// deferred wakes (Cancel, drain) arm their own flush event and need no
+// help.
+func (c *Controller) Flush() { c.flushScheduling() }
+
+func (c *Controller) armFlush() {
+	if c.flushArmed {
+		return
+	}
+	c.flushArmed = true
+	c.sim.AtAction(c.sim.Now(), &c.flushAct, 0)
+}
+
+// flushScheduling runs the deferred passes, in configuration order so
+// the outcome is independent of which partition went dirty first.
+func (c *Controller) flushScheduling() {
+	c.flushArmed = false
+	if c.dirtyParts == 0 {
+		return
+	}
+	for _, p := range c.parts {
+		if p.dirtySched {
+			p.dirtySched = false
+			c.dirtyParts--
+			c.schedulePart(p)
+		}
+	}
 }
 
 // Submit is sbatch: run the submit-plugin chain, validate, and queue.
 // Array descriptions must go through SubmitArray.
 func (c *Controller) Submit(desc JobDesc) (*Job, error) {
-	return c.submitTraced(desc)
+	c.descScratch = desc
+	return c.submitTraced(&c.descScratch)
+}
+
+// SubmitDesc is Submit for hot pump loops: the description is read
+// through the pointer and copied once into the controller's scratch
+// slot instead of twice through the stack. The caller keeps ownership
+// of *desc; it is never mutated or retained.
+func (c *Controller) SubmitDesc(desc *JobDesc) (*Job, error) {
+	c.descScratch = *desc
+	return c.submitTraced(&c.descScratch)
 }
 
 // submitTraced wraps the submission in the root span of the decision
@@ -301,7 +529,7 @@ func (c *Controller) Submit(desc JobDesc) (*Job, error) {
 // its attributes, which is how `chronus trace <job>` finds the trace.
 // The id the job is about to receive keys head sampling, so a sampled
 // deployment keeps or drops each submission's trace as a whole.
-func (c *Controller) submitTraced(desc JobDesc) (*Job, error) {
+func (c *Controller) submitTraced(desc *JobDesc) (*Job, error) {
 	ctx, span := c.tracer.StartKeyed(context.Background(), spanSubmit, uint64(c.nextID))
 	job, err := c.submit(ctx, desc)
 	if span != nil {
@@ -316,7 +544,7 @@ func (c *Controller) submitTraced(desc JobDesc) (*Job, error) {
 	return job, err
 }
 
-func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
+func (c *Controller) submit(ctx context.Context, desc *JobDesc) (*Job, error) {
 	if desc.IsArray() {
 		return nil, fmt.Errorf("slurm: array description submitted directly; use SubmitArray")
 	}
@@ -327,7 +555,7 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 	}
 	var pluginTime time.Duration
 	for _, p := range plugins {
-		lat, err := p.JobSubmit(ctx, &desc, desc.UserID)
+		lat, err := p.JobSubmit(ctx, desc, desc.UserID)
 		pluginTime += lat
 		if err != nil {
 			c.mRejected.Inc()
@@ -361,8 +589,21 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 	if desc.Partition == "" {
 		desc.Partition = c.conf.DefaultPartition().Name
 	}
-	part, ok := c.partByName[desc.Partition]
-	if !ok {
+	// Small clusters (a lane is one partition, the reference specs two)
+	// resolve the partition by scanning names — short string compares
+	// beat hashing the name into the map on every submission.
+	var part *partition
+	if len(c.parts) <= 4 {
+		for _, q := range c.parts {
+			if q.name == desc.Partition {
+				part = q
+				break
+			}
+		}
+	} else {
+		part = c.partByName[desc.Partition]
+	}
+	if part == nil {
 		return nil, fmt.Errorf("slurm: invalid partition specified: %s", desc.Partition)
 	}
 	if part.conf.MaxTime > 0 && desc.TimeLimit > part.conf.MaxTime {
@@ -377,21 +618,34 @@ func (c *Controller) submit(ctx context.Context, desc JobDesc) (*Job, error) {
 		}
 	}
 
-	job := &Job{
-		ID:         c.nextID,
-		Desc:       desc,
-		State:      StatePending,
-		Reason:     "Priority",
-		SubmitTime: c.sim.Now(),
-		part:       part,
+	job := c.newJob()
+	job.ID = c.nextID
+	job.Desc = *desc
+	job.State = StatePending
+	job.Reason = "Priority"
+	job.SubmitTime = c.sim.Now()
+	job.submitTick = c.sim.NowTick()
+	job.part = part
+	job.userSlot = c.slotFor(desc.UserID)
+	if desc.Shape != nil {
+		// Copy the shape into the job-owned buffer: the description's
+		// pointer may be to a caller's stack scratch (the cluster
+		// simulator reuses one per submission stream), and the job can
+		// outlive it.
+		job.shape = *desc.Shape
+		job.Desc.Shape = &job.shape
 	}
 	c.nextID++
-	c.jobs[job.ID] = job
+	idx := job.ID - 1
+	if ci := idx >> jobChunkBits; ci == len(c.jobs) {
+		c.jobs = append(c.jobs, make([]*Job, jobChunkSize))
+	}
+	c.jobs[idx>>jobChunkBits][idx&jobChunkMask] = job
 	part.pending = append(part.pending, job)
 	if len(desc.AfterOK) > 0 {
 		c.depPending++
 	}
-	c.schedulePart(part)
+	c.kickSubmit(part)
 	return job, nil
 }
 
@@ -455,8 +709,9 @@ func (c *Controller) WaitForAll(ids []int) error {
 // fits checks the request against the partition's node capability
 // classes (one entry per distinct node shape, so the common
 // homogeneous pool checks one).
-func (p *partition) fits(desc JobDesc) error {
-	for _, spec := range p.classes {
+func (p *partition) fits(desc *JobDesc) error {
+	for i := range p.classes {
+		spec := &p.classes[i]
 		if desc.NumTasks <= spec.Cores &&
 			desc.ThreadsPerCPU <= spec.ThreadsPerCore &&
 			desc.MemoryMB <= spec.RAMGB*1024 {
@@ -467,11 +722,10 @@ func (p *partition) fits(desc JobDesc) error {
 		desc.NumTasks, desc.ThreadsPerCPU, desc.MemoryMB)
 }
 
-func nodeSatisfies(n *nodeD, desc JobDesc) bool {
-	spec := n.hw.Spec()
-	return desc.NumTasks <= spec.Cores &&
-		desc.ThreadsPerCPU <= spec.ThreadsPerCore &&
-		desc.MemoryMB <= spec.RAMGB*1024
+func nodeSatisfies(n *nodeD, desc *JobDesc) bool {
+	return desc.NumTasks <= n.spec.Cores &&
+		desc.ThreadsPerCPU <= n.spec.ThreadsPerCore &&
+		desc.MemoryMB <= n.spec.RAMGB*1024
 }
 
 // scheduleAll runs a scheduling pass over every partition in
@@ -488,8 +742,7 @@ func (c *Controller) schedulePart(p *partition) {
 	if len(p.pending) == 0 {
 		return
 	}
-	now := c.sim.Now()
-	if p.freeHeap.Len() == 0 && p.busy > 0 {
+	if p.freeN == 0 && p.busy > 0 {
 		// Hot path at scale: every node busy, so nothing can start
 		// before this partition's next job-end event, which reschedules
 		// it. Tag fresh arrivals with the visible squeue reason and
@@ -500,6 +753,7 @@ func (c *Controller) schedulePart(p *partition) {
 		p.queueGauge.Set(float64(len(p.pending)))
 		return
 	}
+	now := c.sim.Now()
 	_, span := c.tracer.Start(context.Background(), spanSchedule)
 	if span != nil {
 		span.SetAttr("partition", p.name)
@@ -507,11 +761,18 @@ func (c *Controller) schedulePart(p *partition) {
 		defer func() { span.End(nil) }()
 	}
 	if !p.fifo {
-		p.policy.Order(p.pending, now, c.usage)
+		if p.keyed != nil {
+			// Key-cached ordering: compute each job's priority once per
+			// pass, then sort on the cached keys — the policy's Priority
+			// would otherwise be recomputed O(n log n) times per pass.
+			p.orderKeyed(now, c.usage, c.usageBy)
+		} else {
+			p.policy.Order(p.pending, now, c.usage)
+		}
 	}
 	remaining := p.pending[:0]
 	for i, job := range p.pending {
-		if p.freeHeap.Len() == 0 {
+		if p.freeN == 0 {
 			// Every node claimed mid-pass: nothing below can start, so
 			// keep the tail queued wholesale instead of probing each
 			// job — the pass cost stays bounded by placements made, not
@@ -520,6 +781,17 @@ func (c *Controller) schedulePart(p *partition) {
 			rest := p.pending[i:]
 			for k := len(rest) - 1; k >= 0 && rest[k].Reason == "Priority"; k-- {
 				rest[k].Reason = "Resources"
+			}
+			if len(remaining) == 0 {
+				// Everything ahead of i started: the tail is already in
+				// place, so slide the window forward instead of copying
+				// the whole backlog down — under a deep queue draining
+				// one node at a time, that copy is the pass's entire
+				// cost. (Appends reallocate compactly once the drifted
+				// backing array's cap runs out.)
+				p.pending = rest
+				p.queueGauge.Set(float64(len(p.pending)))
+				return
 			}
 			remaining = append(remaining, rest...)
 			break
@@ -544,11 +816,15 @@ func (c *Controller) schedulePart(p *partition) {
 		if !job.Desc.BeginTime.IsZero() && job.Desc.BeginTime.After(now) {
 			job.Reason = "BeginTime"
 			// Wake this partition up when the job becomes eligible.
-			c.sim.At(job.Desc.BeginTime, func() { c.schedulePart(p) })
+			// AtOrNow: the begin time can land exactly on the current
+			// instant from a caller's perspective yet be "past" by the
+			// time the pass runs.
+			// The wake fires inside the event loop: pass directly.
+			c.sim.AtOrNow(job.Desc.BeginTime, func() { c.schedulePart(p) })
 			remaining = append(remaining, job)
 			continue
 		}
-		node := p.takeIdle(job.Desc)
+		node := p.takeIdle(&job.Desc)
 		if node == nil {
 			job.Reason = "Resources"
 			remaining = append(remaining, job)
@@ -592,15 +868,12 @@ func (c *Controller) releaseNode(n *nodeD) {
 }
 
 // refreeNode relists an idle node (claimed but never started, or just
-// released) in its partitions' free heaps.
+// released) in its partitions' free bitmaps.
 func (c *Controller) refreeNode(n *nodeD) {
 	if n.drained || n.free || n.current != nil {
 		return
 	}
-	n.free = true
-	for _, p := range n.parts {
-		heap.Push(&p.freeHeap, n)
-	}
+	listFree(n)
 }
 
 func (c *Controller) start(job *Job, node *nodeD) error {
@@ -608,7 +881,9 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	var w Workload
 	switch {
 	case job.Desc.Shape != nil:
-		w = *job.Desc.Shape
+		// The pointer satisfies Workload (value receivers); using it
+		// directly avoids boxing a Shape copy per start.
+		w = job.Desc.Shape
 	default:
 		var ok bool
 		if w, ok = c.workloads[job.Desc.BinaryPath]; !ok {
@@ -659,6 +934,7 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	job.State = StateRunning
 	job.Reason = ""
 	job.StartTime = now
+	job.startTick = c.sim.NowTick()
 	job.NodeName = node.name
 	job.GFLOPS = gflops
 	c.claimNode(node, job)
@@ -673,41 +949,83 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 		})
 	}
 
-	sys0, cpu0 := node.hw.EnergyJ()
-	c.sim.After(duration, func() {
-		if node.current != job {
-			return // cancelled meanwhile
-		}
-		hwJob.End()
-		node.unpinFrequency()
-		sys1, cpu1 := node.hw.EnergyJ()
-		job.SystemJ = sys1 - sys0
-		job.CPUJ = cpu1 - cpu0
-		job.EndTime = c.sim.Now()
-		if timedOut {
-			job.State = StateFailed
-			job.Reason = "TimeLimit"
-		} else {
-			job.State = StateCompleted
-		}
-		c.releaseNode(node)
-		c.finish(job)
-		if c.depPending > 0 {
-			// A queued dependent may live in any partition; wake them
-			// all so cross-partition dependency chains resolve.
-			c.scheduleAll()
-		} else {
-			for _, p := range node.parts {
-				c.schedulePart(p)
-			}
-		}
-	})
+	job.sys0, job.cpu0 = node.hw.EnergyJ()
+	job.timedOut = timedOut
+	c.sim.AfterAction(duration, &c.compAct, uint64(job.ID))
 	return nil
 }
 
+// completeJob is the completion event for a running job, fired through
+// the controller's pre-allocated Action. The event is uncancellable,
+// so it re-validates: a job cancelled (and possibly retired or even
+// recycled) meanwhile no longer matches a running arena entry and the
+// stale event is dropped.
+func (c *Controller) completeJob(id int) {
+	job := c.jobByID(id)
+	if job == nil || job.ID != id || job.State != StateRunning || job.node == nil {
+		return // cancelled meanwhile
+	}
+	node := job.node
+	node.hwJob.End()
+	node.unpinFrequency()
+	sys1, cpu1 := node.hw.EnergyJ()
+	job.SystemJ = sys1 - job.sys0
+	job.CPUJ = cpu1 - job.cpu0
+	job.EndTime = c.sim.Now()
+	job.endTick = c.sim.NowTick()
+	if job.timedOut {
+		job.State = StateFailed
+		job.Reason = "TimeLimit"
+	} else {
+		job.State = StateCompleted
+	}
+	c.releaseNode(node)
+	c.finish(job)
+	// Completion already runs inside the event loop, so schedule the
+	// freed node's partitions directly instead of arming a same-instant
+	// flush event — one fewer queue round-trip per job.
+	if c.depPending > 0 {
+		// A queued dependent may live in any partition; wake them
+		// all so cross-partition dependency chains resolve.
+		c.scheduleAll()
+	} else {
+		for _, p := range node.parts {
+			c.schedulePart(p)
+		}
+	}
+}
+
+// slotFor returns the user's dense usage slot, assigning one on first
+// sight.
+func (c *Controller) slotFor(uid uint32) int32 {
+	if s, ok := c.userSlots[uid]; ok {
+		return s
+	}
+	s := int32(len(c.usageBy))
+	c.userSlots[uid] = s
+	c.usageBy = append(c.usageBy, 0)
+	return s
+}
+
+// addUsage credits consumed CPU-seconds to both fair-share stores.
+func (c *Controller) addUsage(uid uint32, slot int32, delta float64) {
+	c.usage[uid] += delta
+	c.usageBy[slot] += delta
+}
+
 func (c *Controller) finish(job *Job) {
-	if !job.StartTime.IsZero() && !job.EndTime.IsZero() {
-		c.usage[job.Desc.UserID] += float64(job.Desc.NumTasks) * job.EndTime.Sub(job.StartTime).Seconds()
+	if job.startTick != 0 && job.endTick != 0 {
+		delta := float64(job.Desc.NumTasks) * time.Duration(job.endTick-job.startTick).Seconds()
+		c.addUsage(job.Desc.UserID, job.userSlot, delta)
+		if c.usageSink != nil {
+			c.usageSink(job.Desc.UserID, delta)
+		}
+	} else if !job.StartTime.IsZero() && !job.EndTime.IsZero() {
+		delta := float64(job.Desc.NumTasks) * job.EndTime.Sub(job.StartTime).Seconds()
+		c.addUsage(job.Desc.UserID, job.userSlot, delta)
+		if c.usageSink != nil {
+			c.usageSink(job.Desc.UserID, delta)
+		}
 	}
 	switch job.State {
 	case StateCompleted:
@@ -753,33 +1071,42 @@ func (c *Controller) finish(job *Job) {
 	}
 }
 
-// retire drops a terminal job from the live map, keeping only its
-// final state for dependency resolution — the memory bound that lets
-// a run absorb millions of submissions.
+// retire drops a terminal job from the arena, keeping only its final
+// state code for dependency resolution — the memory bound that lets a
+// run absorb millions of submissions. The record itself goes back to
+// the pool for the next submission: in aggregate mode nothing retains
+// a job past its completion hooks.
 func (c *Controller) retire(job *Job) {
-	delete(c.jobs, job.ID)
-	for len(c.retired) <= job.ID {
-		c.retired = append(c.retired, "")
+	id := job.ID
+	if id >= 1 && id < c.nextID {
+		idx := id - 1
+		c.jobs[idx>>jobChunkBits][idx&jobChunkMask] = nil
 	}
-	c.retired[job.ID] = job.State
+	for len(c.retired) <= id {
+		c.retired = append(c.retired, retiredNone)
+	}
+	c.retired[id] = retireCode(job.State)
+	if job.node == nil {
+		c.jobPool = append(c.jobPool, job)
+	}
 }
 
 // jobState resolves a job's current state by id, consulting retired
 // jobs as well as live ones.
 func (c *Controller) jobState(id int) (JobState, bool) {
-	if j, ok := c.jobs[id]; ok {
+	if j := c.jobByID(id); j != nil {
 		return j.State, true
 	}
-	if id > 0 && id < len(c.retired) && c.retired[id] != "" {
-		return c.retired[id], true
+	if id > 0 && id < len(c.retired) && c.retired[id] != retiredNone {
+		return retiredState(c.retired[id]), true
 	}
 	return "", false
 }
 
 // Cancel is scancel: terminate a pending or running job.
 func (c *Controller) Cancel(id int) error {
-	job, ok := c.jobs[id]
-	if !ok {
+	job := c.jobByID(id)
+	if job == nil {
 		return fmt.Errorf("slurm: no job %d", id)
 	}
 	if job.State.Terminal() {
@@ -798,13 +1125,13 @@ func (c *Controller) Cancel(id int) error {
 	c.finish(job)
 	switch {
 	case c.depPending > 0:
-		c.scheduleAll()
+		c.kickAll()
 	case freed != nil:
 		for _, p := range freed.parts {
-			c.schedulePart(p)
+			c.kick(p)
 		}
 	case job.part != nil:
-		c.schedulePart(job.part)
+		c.kick(job.part)
 	}
 	return nil
 }
@@ -812,16 +1139,18 @@ func (c *Controller) Cancel(id int) error {
 // Job returns a job by id. Retired jobs (aggregate accounting) are
 // not returned.
 func (c *Controller) Job(id int) (*Job, bool) {
-	j, ok := c.jobs[id]
-	return j, ok
+	j := c.jobByID(id)
+	return j, j != nil
 }
 
 // Squeue lists pending and running jobs, pending first, by id.
 func (c *Controller) Squeue() []*Job {
 	var out []*Job
-	for _, j := range c.jobs {
-		if !j.State.Terminal() {
-			out = append(out, j)
+	for _, chunk := range c.jobs {
+		for _, j := range chunk {
+			if j != nil && !j.State.Terminal() {
+				out = append(out, j)
+			}
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -878,7 +1207,9 @@ func (c *Controller) setDrain(name string, drained bool) error {
 		if drained {
 			// Idle drained nodes leave the free pool; busy ones stay
 			// claimed and simply never return to it while drained.
-			n.free = false
+			if n.free {
+				unlistFree(n)
+			}
 		} else {
 			c.refreeNode(n)
 		}
@@ -889,15 +1220,29 @@ func (c *Controller) setDrain(name string, drained bool) error {
 
 // WaitFor advances simulated time until the job is terminal. It fails
 // if the simulation runs out of events first (a scheduling deadlock).
+// In aggregate mode the returned record may be a synthesized snapshot
+// (id + final state): the live record is recycled at retirement.
 func (c *Controller) WaitFor(id int) (*Job, error) {
-	job, ok := c.jobs[id]
-	if !ok {
+	if st, ok := c.jobState(id); ok && st.Terminal() {
+		if j := c.jobByID(id); j != nil {
+			return j, nil
+		}
+		return &Job{ID: id, State: st}, nil
+	}
+	job := c.jobByID(id)
+	if job == nil {
 		return nil, fmt.Errorf("slurm: no job %d", id)
 	}
-	for !job.State.Terminal() {
+	// The record can be retired and recycled for a different job while
+	// we step; guard on the identity, not just the state.
+	for job.ID == id && !job.State.Terminal() {
 		if !c.sim.Step() {
 			return job, fmt.Errorf("slurm: job %d stuck in %s with no pending events", id, job.State)
 		}
+	}
+	if job.ID != id {
+		st, _ := c.jobState(id)
+		return &Job{ID: id, State: st}, nil
 	}
 	return job, nil
 }

@@ -113,6 +113,24 @@ type Job struct {
 
 	part *partition // owning partition queue
 	node *nodeD     // allocated node while running
+
+	// Completion bookkeeping stashed at start so the completion event
+	// carries only the job id: energy counters at start, and whether
+	// the plan was truncated by the time limit.
+	sys0, cpu0 float64
+	timedOut   bool
+	// Tick (UnixNano) mirrors of SubmitTime/StartTime/EndTime set on
+	// the hot submit/start/complete paths; accounting prefers them to
+	// avoid time.Time decoding. Zero on cold paths (cancellation,
+	// failed starts), which fall back to the time.Time fields.
+	submitTick, startTick, endTick int64
+	// userSlot indexes the controller's dense fair-share usage slice
+	// (Controller.usageBy) for Desc.UserID, assigned at submission.
+	userSlot int32
+	// shape is the job-owned copy of Desc.Shape, so descriptions built
+	// in caller-reused buffers survive past Submit without a per-job
+	// heap allocation.
+	shape workload.Shape
 }
 
 // Runtime returns how long the job ran (so far, if still running is

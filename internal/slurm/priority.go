@@ -91,3 +91,90 @@ func (p MultifactorPolicy) Order(pending []*Job, now time.Time, usage map[uint32
 		return pending[i].ID < pending[j].ID
 	})
 }
+
+// prioritySlot is Priority with the user's fair-share usage read from
+// the controller's slot-indexed slice (Controller.usageBy) instead of
+// the map — the same arithmetic on the same values, minus a map probe
+// per pending job per scheduling pass.
+func (p MultifactorPolicy) prioritySlot(j *Job, now time.Time, usageBy []float64) float64 {
+	age := 0.0
+	if p.MaxAge > 0 {
+		age = float64(now.Sub(j.SubmitTime)) / float64(p.MaxAge)
+		if age > 1 {
+			age = 1
+		}
+	}
+	size := 0.0
+	if p.MaxCores > 0 {
+		size = 1 - float64(j.Desc.NumTasks)/float64(p.MaxCores)
+		if size < 0 {
+			size = 0
+		}
+	}
+	fair := 1.0
+	if p.UsageHalfLife > 0 {
+		fair = p.UsageHalfLife / (p.UsageHalfLife + usageBy[j.userSlot])
+	}
+	return p.AgeWeight*age + p.SizeWeight*size + p.FairShareWeight*fair
+}
+
+// priorityKeyer is the per-job priority-function view of a policy.
+// When a policy offers it, the scheduling pass computes each job's key
+// once and sorts on the cached values (orderKeyed) instead of calling
+// Order, which recomputes priorities inside every comparison.
+// MultifactorPolicy satisfies it.
+type priorityKeyer interface {
+	Priority(j *Job, now time.Time, usage map[uint32]float64) float64
+}
+
+// slotKeyer is the slot-indexed refinement of priorityKeyer: usage
+// arrives as the controller's dense per-user slice, indexed by the
+// job's userSlot. MultifactorPolicy satisfies it.
+type slotKeyer interface {
+	prioritySlot(j *Job, now time.Time, usageBy []float64) float64
+}
+
+// prioSorter sorts jobs by cached priority key, descending, with the
+// job id as a strict tiebreaker — a total order, so the result is
+// identical to a stable sort by key (and to the policy's Order).
+type prioSorter struct {
+	jobs []*Job
+	keys []float64
+}
+
+func (s *prioSorter) Len() int { return len(s.jobs) }
+
+func (s *prioSorter) Less(i, j int) bool {
+	if s.keys[i] != s.keys[j] {
+		return s.keys[i] > s.keys[j]
+	}
+	return s.jobs[i].ID < s.jobs[j].ID
+}
+
+func (s *prioSorter) Swap(i, j int) {
+	s.jobs[i], s.jobs[j] = s.jobs[j], s.jobs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+// orderKeyed orders the partition's pending queue through the keyed
+// policy, reusing the partition's key buffer and sorter.
+func (p *partition) orderKeyed(now time.Time, usage map[uint32]float64, usageBy []float64) {
+	if cap(p.prios) < len(p.pending) {
+		p.prios = make([]float64, len(p.pending))
+	}
+	p.prios = p.prios[:len(p.pending)]
+	if p.slotKeyed != nil {
+		for i, j := range p.pending {
+			p.prios[i] = p.slotKeyed.prioritySlot(j, now, usageBy)
+		}
+	} else {
+		for i, j := range p.pending {
+			p.prios[i] = p.keyed.Priority(j, now, usage)
+		}
+	}
+	p.sorter.jobs = p.pending
+	p.sorter.keys = p.prios
+	sort.Sort(&p.sorter)
+	p.sorter.jobs = nil
+	p.sorter.keys = nil
+}

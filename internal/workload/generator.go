@@ -4,6 +4,7 @@ import (
 	"math"
 	"strconv"
 	"time"
+	"unsafe"
 
 	"ecosched/internal/simclock"
 )
@@ -39,6 +40,14 @@ type Source interface {
 	Next() (s Submission, ok bool, err error)
 }
 
+// IntoSource is an optional Source refinement: NextInto fills the
+// caller's record in place instead of returning it by value. Pump
+// loops that reuse one Submission per pull avoid a large struct copy
+// per submission; the Generator implements it.
+type IntoSource interface {
+	NextInto(s *Submission) (ok bool, err error)
+}
+
 // OptInComment is the eco plugin's submission opt-in marker,
 // duplicated here (internal/ecoplugin imports internal/slurm, which
 // imports this package) and cross-checked by a test.
@@ -68,6 +77,34 @@ type clientState struct {
 	userN   int
 	jobSeq  int
 	nameBuf []byte
+	// sleepName/workName are the client's fixed shape labels,
+	// precomputed so the hot sample path does no string concatenation.
+	sleepName string
+	workName  string
+	// nameChunk is the append-only arena job-name strings are sliced
+	// from: one heap object per chunk instead of one per name, which
+	// at millions of submissions is most of the garbage the collector
+	// would otherwise scan.
+	nameChunk []byte
+}
+
+// nameChunkSize is the arena granularity; a chunk is abandoned (still
+// referenced by its names) when the next name would not fit.
+const nameChunkSize = 16 << 10
+
+// allocName copies b into the arena and returns it as a string. The
+// chunk is never written past its cap and bytes already handed out are
+// never rewritten, so the unsafe.String view is immutable.
+func (st *clientState) allocName(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(st.nameChunk)+len(b) > cap(st.nameChunk) {
+		st.nameChunk = make([]byte, 0, nameChunkSize)
+	}
+	off := len(st.nameChunk)
+	st.nameChunk = append(st.nameChunk, b...)
+	return unsafe.String(&st.nameChunk[off], len(b))
 }
 
 // NewGenerator builds a generator for the spec, with submissions
@@ -88,6 +125,8 @@ func NewGenerator(spec Spec, start time.Time) (*Generator, error) {
 			interMeanS: 3600 / cs.Arrival.RatePerHour,
 			userLo:     uint32(1000 * (i + 1)),
 			userN:      cs.Users,
+			sleepName:  cs.Name + "-sleep",
+			workName:   cs.Name + "-work",
 		}
 		if st.userN <= 0 {
 			st.userN = 1
@@ -113,8 +152,17 @@ func (g *Generator) Spec() Spec { return g.spec }
 // Next implements Source: the earliest pending client arrival, ties
 // broken by client order.
 func (g *Generator) Next() (Submission, bool, error) {
+	var s Submission
+	ok, err := g.NextInto(&s)
+	return s, ok, err
+}
+
+// NextInto implements IntoSource: like Next, but filling the caller's
+// record in place, sparing the hot pump loop a per-submission copy of
+// the ~200-byte Submission.
+func (g *Generator) NextInto(s *Submission) (bool, error) {
 	if g.spec.MaxSubmissions > 0 && g.seq >= g.spec.MaxSubmissions {
-		return Submission{}, false, nil
+		return false, nil
 	}
 	var pick *clientState
 	for _, st := range g.clients {
@@ -126,16 +174,16 @@ func (g *Generator) Next() (Submission, bool, error) {
 		}
 	}
 	if pick == nil {
-		return Submission{}, false, nil
+		return false, nil
 	}
-	s := pick.sample(g.seq)
+	pick.sampleInto(s, g.seq)
 	g.seq++
 	// Advance the client to its next arrival.
 	pick.next = pick.next.Add(pick.gap(pick.next))
 	if !pick.next.Before(g.horizon) {
 		pick.done = true
 	}
-	return s, true, nil
+	return true, nil
 }
 
 // gap samples the next interarrival gap at the given instant,
@@ -151,8 +199,14 @@ func (st *clientState) gap(now time.Time) time.Duration {
 	default: // poisson
 		raw = Exponential(st.rng, st.interMeanS)
 	}
-	if w := st.weight(now.UTC().Hour()); w != 1 {
-		raw /= w
+	if len(st.spec.Windows) > 0 {
+		// Unix() is non-negative here (simulated time starts in 2023),
+		// so the modular arithmetic equals now.UTC().Hour() without
+		// time.Time's calendar decoding.
+		hour := int(now.Unix()%86400) / 3600
+		if w := st.weight(hour); w != 1 {
+			raw /= w
+		}
 	}
 	if raw < 1e-6 {
 		raw = 1e-6 // keep the stream strictly advancing
@@ -169,17 +223,21 @@ func (st *clientState) weight(hour int) float64 {
 	return 1
 }
 
-// sample draws one submission. The draw order below is fixed: it is
-// part of the log format's determinism contract (same spec + seed →
-// byte-identical submission log).
-func (st *clientState) sample(seq int) Submission {
-	j := st.spec.Jobs
-	s := Submission{
-		Seq:           seq,
-		At:            st.next,
-		Client:        st.spec.Name,
-		ThreadsPerCPU: j.ThreadsPerCPU,
-	}
+// sampleInto draws one submission into s, overwriting every field. The
+// draw order below is fixed: it is part of the log format's determinism
+// contract (same spec + seed → byte-identical submission log).
+func (st *clientState) sampleInto(s *Submission, seq int) {
+	// Field-wise reset: writing through s directly spares the compiler's
+	// temp-and-copy of the ~200-byte struct. Every field is assigned on
+	// every call — the conditional ones are cleared here first.
+	j := &st.spec.Jobs
+	s.Seq = seq
+	s.At = st.next
+	s.Client = st.spec.Name
+	s.ThreadsPerCPU = j.ThreadsPerCPU
+	s.Partition = ""
+	s.Comment = ""
+	s.TimeLimit = 0
 	// 1. shape kind
 	sleep := false
 	switch {
@@ -194,13 +252,13 @@ func (st *clientState) sample(seq int) Submission {
 		if d < 0.001 {
 			d = 0.001
 		}
-		s.Shape = Sleep(st.spec.Name+"-sleep", time.Duration(d*float64(time.Second)))
+		s.Shape = Sleep(st.sleepName, time.Duration(d*float64(time.Second)))
 	} else {
 		w := j.Work.Sample(st.rng)
 		if w < 0.001 {
 			w = 0.001
 		}
-		s.Shape = FixedWork(st.spec.Name+"-work", w)
+		s.Shape = FixedWork(st.workName, w)
 	}
 	// 3. tasks
 	s.Tasks = 1
@@ -232,8 +290,7 @@ func (st *clientState) sample(seq int) Submission {
 	st.nameBuf = append(st.nameBuf[:0], st.spec.Name...)
 	st.nameBuf = append(st.nameBuf, '-')
 	st.nameBuf = strconv.AppendInt(st.nameBuf, int64(st.jobSeq), 10)
-	s.JobName = string(st.nameBuf)
-	return s
+	s.JobName = st.allocName(st.nameBuf)
 }
 
 func choosePartition(r *simclock.RNG, parts []PartitionWeight) string {
