@@ -12,13 +12,16 @@ vet:
 
 # lint runs the project's own analyzer suite (internal/lint via
 # cmd/ecolint): determinism, context flow, hot-path I/O, lock scope,
-# metric naming and the simclock event-pool contract. Whole-module
-# mode is the authoritative gate; the
-# same binary also speaks the vet protocol
-# (go vet -vettool=bin/ecolint ./...).
+# metric naming, the simclock event-pool contract, atomic striping
+# shape, lane isolation, goroutine joins, the zero-alloc hot-path
+# proof, and map/select determinism. Whole-module mode is the
+# authoritative gate — it also fails on stale suppressions (directives
+# that no longer absorb a finding; `ecolint -prune .` lists them) and
+# prints the suppression-debt ledger. The same binary speaks the vet
+# protocol (go vet -vettool=bin/ecolint ./...).
 lint: build
 	$(GO) build -o bin/ecolint ./cmd/ecolint
-	./bin/ecolint .
+	./bin/ecolint -debt .
 
 test: build
 	$(GO) test ./...

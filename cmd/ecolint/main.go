@@ -1,22 +1,41 @@
 // Command ecolint runs the project's analyzer suite (internal/lint):
-// nodeterminism, ctxflow, hotpathio, lockscope, metricname, eventpool.
+// nodeterminism, ctxflow, hotpathio, lockscope, metricname, eventpool,
+// atomicshape, laneisolation, goroutinejoin, zeroallocproof, seqdet.
 //
 // Two modes:
 //
-//	ecolint [dir]           whole-module mode: load every package of the
+//	ecolint [flags] [dir]   whole-module mode: load every package of the
 //	                        module rooted at dir (default ".") and run
-//	                        all six analyzers, including the
-//	                        whole-program hot-path traversal. This is
-//	                        what `make lint` runs.
+//	                        all analyzers, including the whole-program
+//	                        traversals (hotpathio, zeroallocproof) and
+//	                        the suppression-debt ledger: reasoned
+//	                        lint:ignore directives that no longer
+//	                        suppress anything are themselves findings,
+//	                        so debt can only shrink. This is what
+//	                        `make lint` runs.
 //
 //	go vet -vettool=$(which ecolint) ./...
 //	                        vet-tool mode: speaks the cmd/vet unit
 //	                        checker protocol (-V=full handshake, then a
 //	                        *.cfg file per package). Each package is
 //	                        checked in isolation, so the cross-package
-//	                        half of hotpathio/lockscope is reduced to
-//	                        what is visible locally; whole-module mode
-//	                        remains the authoritative gate.
+//	                        half of hotpathio/zeroallocproof/lockscope
+//	                        is reduced to what is visible locally and
+//	                        stale-suppression detection is off (a
+//	                        directive may suppress a finding another
+//	                        package's traversal produces); whole-module
+//	                        mode remains the authoritative gate.
+//
+// Whole-module flags:
+//
+//	-roots f,g   override the zeroallocproof hot roots (suffix-matched
+//	             qualified names, e.g. 'Controller).SubmitDesc')
+//	-debt        print the suppression-debt ledger: how many findings
+//	             each analyzer's directives currently absorb
+//	-prune       print only the stale directives (the ones -debt would
+//	             count at zero) and exit 2 if any exist
+//	-sarif       emit findings as SARIF 2.1.0 JSON on stdout for CI
+//	             annotation instead of the plain-text lines
 //
 // Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found.
 package main
@@ -28,6 +47,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"ecosched/internal/lint"
@@ -51,8 +71,12 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	roots := flag.String("roots", "", "comma-separated zeroallocproof root overrides (suffix-matched qualified names)")
+	debt := flag.Bool("debt", false, "print the suppression-debt ledger after the findings")
+	prune := flag.Bool("prune", false, "print only stale lint:ignore directives; exit 2 if any exist")
+	sarif := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ecolint [-list] [module-dir]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ecolint [-list] [-roots f,g] [-debt] [-prune] [-sarif] [module-dir]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -64,32 +88,168 @@ func main() {
 		}
 		return
 	}
+	if *roots != "" {
+		var rs []string
+		for _, r := range strings.Split(*roots, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				rs = append(rs, r)
+			}
+		}
+		lint.ZeroAllocRoots = rs
+	}
 	root := "."
 	if flag.NArg() > 0 {
 		root = flag.Arg(0)
 	}
-	os.Exit(runModule(root))
+	os.Exit(runModule(root, *debt, *prune, *sarif))
 }
 
 // version feeds the buildID in the -V=full handshake; bump when the
 // analyzer set or configuration changes so vet's result cache misses.
-const version = "1"
+const version = "3"
 
-func runModule(root string) int {
+func runModule(root string, debt, prune, sarif bool) int {
 	prog, err := lint.LoadModule(root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
 		return 1
 	}
-	diags := lint.Run(prog, lint.All())
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	diags, report := lint.RunWithDebt(prog, lint.All())
+	if prune {
+		for _, s := range report.Stale {
+			fmt.Printf("%s: stale suppression for %s — delete it\n", s.Pos, strings.Join(s.Analyzers, ", "))
+		}
+		if len(report.Stale) > 0 {
+			fmt.Fprintf(os.Stderr, "ecolint: %d stale directive(s)\n", len(report.Stale))
+			return 2
+		}
+		return 0
+	}
+	if sarif {
+		if err := writeSARIF(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if debt {
+		printDebt(os.Stderr, report)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ecolint: %d finding(s)\n", len(diags))
 		return 2
 	}
 	return 0
+}
+
+// printDebt renders the suppression ledger: what each analyzer's
+// directives currently absorb. Zero-hit (stale) directives are already
+// diagnostics, so they appear above, not here.
+func printDebt(w io.Writer, report lint.DebtReport) {
+	fmt.Fprintf(w, "suppression debt: %d finding(s) absorbed by lint:ignore directives\n", report.Total)
+	names := make([]string, 0, len(report.ByAnalyzer))
+	for name := range report.ByAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-16s %d\n", name, report.ByAnalyzer[name])
+	}
+}
+
+// sarifLog is the minimal SARIF 2.1.0 shape CI annotators consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF emits the diagnostics as one SARIF run.
+func writeSARIF(w io.Writer, diags []lint.Diagnostic) error {
+	ruleSeen := map[string]bool{}
+	var rules []sarifRule
+	for _, a := range lint.All() {
+		rules = append(rules, sarifRule{ID: "ecolint/" + a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		ruleSeen[a.Name] = true
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !ruleSeen[d.Analyzer] {
+			// Framework-produced findings (bare "ignore" directives,
+			// stale suppressions) get rules on first use.
+			ruleSeen[d.Analyzer] = true
+			rules = append(rules, sarifRule{ID: "ecolint/" + d.Analyzer, ShortDescription: sarifMessage{Text: d.Analyzer}})
+		}
+		results = append(results, sarifResult{
+			RuleID:  "ecolint/" + d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: sarifDriver{Name: "ecolint"}}, Results: results}},
+	}
+	log.Runs[0].Tool.Driver.Rules = rules
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }
 
 // vetConfig is the subset of cmd/vet's per-package JSON config file
@@ -101,6 +261,8 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
@@ -123,6 +285,13 @@ func runVetTool(cfgPath string) int {
 			fmt.Fprintf(os.Stderr, "ecolint: %v\n", err)
 			return 1
 		}
+	}
+	// cmd/go runs the tool over every dependency in the build graph to
+	// collect facts; VetxOnly marks those runs. ecolint has no facts to
+	// compute, and the project invariants do not apply to dependency or
+	// standard-library code, so answer without analyzing.
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] {
+		return 0
 	}
 	// Whole-module mode skips test files (tests legitimately use the
 	// wall clock and ad-hoc span names); keep unit mode consistent.

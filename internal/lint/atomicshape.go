@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicShape proves the memory layout the striped telemetry and the
+// async trace rings depend on (DESIGN.md §12–§13): a stripe only
+// removes contention if each element owns its cache lines outright,
+// and a 64-bit atomic only works on 32-bit platforms if its word is
+// 8-aligned. Both properties are silent layout accidents today — one
+// field added to a stripe struct and neighbouring stripes share a
+// line again, with no test failing and throughput quietly halved.
+//
+// Two rules, computed from go/types layouts (not guessed from source
+// order):
+//
+//   - cache-line padding: an array of two or more elements whose
+//     element struct contains atomic.* fields or a sync.Mutex/RWMutex
+//     (the concurrency-hot structs that exist to be striped) must have
+//     an element size that is a multiple of 64 bytes under the gc
+//     amd64 layout. A `_ [N]byte` pad array that does not actually
+//     reach the line boundary is exactly the bug this catches.
+//   - 64-bit alignment: a plain int64/uint64 struct field passed by
+//     address to a 64-bit sync/atomic function must sit at an
+//     8-aligned offset under the gc 386 layout (where int64 alignment
+//     is only 4). The atomic.Int64/Uint64 wrapper types are always
+//     aligned by the runtime and are the sanctioned fix.
+var AtomicShape = &Analyzer{
+	Name: atomicShapeName,
+	Doc:  "striped atomic structs are cache-line padded and atomically accessed 64-bit fields are 8-aligned",
+	Run:  runAtomicShape,
+}
+
+const atomicShapeName = "atomicshape"
+
+// cacheLine is the padding unit the stripe rule enforces. 64 bytes is
+// the line size on every amd64/arm64 part this simulator targets.
+const cacheLine = 64
+
+// layoutSizes computes layouts the way the gc compiler does on the
+// named architecture. Layouts are checked under fixed architectures —
+// not the build host's — so a finding is the same on every machine.
+var (
+	layoutAMD64 = types.SizesFor("gc", "amd64")
+	layout386   = types.SizesFor("gc", "386")
+)
+
+func runAtomicShape(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkStripeArrays(pass, ts)
+			}
+		}
+		checkAtomic64Args(pass, file)
+	}
+	return nil
+}
+
+// checkStripeArrays inspects one declared type: the type itself if it
+// is an array of hot structs, and every array field inside it if it is
+// a struct. Matching on the declaration (rather than on use) reports
+// the finding where the fix goes — next to the pad array.
+func checkStripeArrays(pass *Pass, ts *ast.TypeSpec) {
+	obj, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	switch u := named.Underlying().(type) {
+	case *types.Array:
+		reportUnpaddedStripe(pass, ts.Pos(), ts.Name.Name, u)
+	case *types.Struct:
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			arr, ok := u.Field(i).Type().Underlying().(*types.Array)
+			if !ok {
+				continue
+			}
+			pos := ts.Pos()
+			if i < countFieldNames(st) {
+				pos = fieldPosByIndex(st, i)
+			}
+			reportUnpaddedStripe(pass, pos, ts.Name.Name+"."+u.Field(i).Name(), arr)
+		}
+	}
+}
+
+// countFieldNames returns the number of flattened fields st declares,
+// matching go/types field order (each name of a shared-type field
+// counts once).
+func countFieldNames(st *ast.StructType) int {
+	n := 0
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// fieldPosByIndex maps a go/types field index back to its AST position.
+func fieldPosByIndex(st *ast.StructType, idx int) token.Pos {
+	i := 0
+	for _, f := range st.Fields.List {
+		names := len(f.Names)
+		if names == 0 {
+			names = 1
+		}
+		if idx < i+names {
+			return f.Pos()
+		}
+		i += names
+	}
+	return st.Pos()
+}
+
+// reportUnpaddedStripe flags an array whose element is a
+// concurrency-hot struct not padded out to whole cache lines.
+func reportUnpaddedStripe(pass *Pass, pos token.Pos, what string, arr *types.Array) {
+	if arr.Len() < 2 {
+		return // a single element has no false-sharing neighbour
+	}
+	if isAtomicType(arr.Elem()) {
+		// A dense array of bare atomics (a histogram's per-bucket
+		// counts) is a deliberate layout: the stripe around it owns the
+		// lines, the buckets inside it share them by design.
+		return
+	}
+	elem, ok := arr.Elem().Underlying().(*types.Struct)
+	if !ok || !hasHotFields(elem) {
+		return
+	}
+	size := layoutAMD64.Sizeof(arr.Elem())
+	if size%cacheLine == 0 {
+		return
+	}
+	pass.Reportf(pos, "stripe array %s: element %s is %d bytes — not a multiple of the %d-byte cache line, so neighbouring stripes false-share; grow the pad array by %d bytes",
+		what, arr.Elem().String(), size, cacheLine, cacheLine-size%cacheLine)
+}
+
+// hasHotFields reports whether the struct directly contains sync/atomic
+// typed fields or a mutex — the fields stripes exist to decontend.
+func hasHotFields(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		t := st.Field(i).Type()
+		if isAtomicType(t) || isMutexType(t) {
+			return true
+		}
+		// An array of atomics (bhStripe's per-bucket counts) is just as hot.
+		if arr, ok := t.Underlying().(*types.Array); ok && isAtomicType(arr.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return named.Obj().Pkg().Path() == "sync" && (name == "Mutex" || name == "RWMutex")
+}
+
+// atomic64Funcs are the sync/atomic package functions operating on a
+// 64-bit word through a pointer argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// checkAtomic64Args flags &struct.field arguments of 64-bit atomic
+// functions whose field offset is not 8-aligned under the 386 layout.
+func checkAtomic64Args(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomic64Funcs[fn.Name()] {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		unary, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok || unary.Op != token.AND {
+			return true
+		}
+		fieldSel, ok := unary.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.Pkg.Info.Selections[fieldSel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		off, ok := fieldOffset386(selection)
+		if !ok {
+			return true
+		}
+		if off%8 != 0 {
+			pass.Reportf(call.Pos(), "atomic.%s(&%s): field %s sits at offset %d under the 32-bit layout — 64-bit atomics require 8-alignment there; use atomic.Int64/Uint64 (runtime-aligned) or move the field to the front of the struct",
+				fn.Name(), exprString(fieldSel), fieldSel.Sel.Name, off)
+		}
+		return true
+	})
+}
+
+// fieldOffset386 computes a selected field's byte offset from the head
+// of its outermost struct under the gc 386 layout, following the
+// selection's embedding path.
+func fieldOffset386(selection *types.Selection) (int64, bool) {
+	t := selection.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var off int64
+	for _, idx := range selection.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := layout386.Offsetsof(fields)
+		off += offsets[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}

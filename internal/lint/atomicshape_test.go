@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAtomicShape(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{AtomicShape}, "atomicshape", "metrics")
+}

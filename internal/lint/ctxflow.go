@@ -24,7 +24,7 @@ func runCtxFlow(pass *Pass) error {
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || FuncSuppressed(fd, ctxFlowName) {
+			if !ok || fd.Body == nil {
 				continue
 			}
 			if !acceptsContext(pass, fd) {

@@ -63,7 +63,7 @@ func runEventPool(pass *Pass) error {
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
 			fd, isFn := decl.(*ast.FuncDecl)
-			if !isFn || fd.Body == nil || FuncSuppressed(fd, eventPoolName) {
+			if !isFn || fd.Body == nil {
 				continue
 			}
 			s := &poolScanner{pass: pass, pkg: pkg, pooled: pooled, fname: fd.Name.Name}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineJoin demands that every `go` statement in non-test code has
+// statically visible join evidence — some construct that makes another
+// goroutine wait for this one to finish. internal/leakcheck catches
+// leaks dynamically, but only on the schedules the tests happen to
+// run; this is the static complement, and it is deliberately a
+// whitelist of the three join shapes the codebase actually uses:
+//
+//   - WaitGroup: the spawned body calls Done() on a sync.WaitGroup
+//     (the matching Wait() is the join).
+//   - closed-channel signal: the spawned body closes, or sends on, a
+//     channel that some other code in the package receives from
+//     (`<-ch`, `range ch`, or a select comm clause).
+//   - drainer hand-off: `go f()` where f's own body carries one of the
+//     signals above (the trace async drainer: run() closes aw.done,
+//     Close() receives it).
+//
+// A goroutine whose lifetime is genuinely unbounded (a server accept
+// loop) is suppressed with a reasoned `//lint:ignore
+// ecolint/goroutinejoin` directive, which the debt ledger counts.
+var GoroutineJoin = &Analyzer{
+	Name: goroutineJoinName,
+	Doc:  "every go statement has a reachable join (WaitGroup, closed/sent channel that is received, or a joining callee) or an explicit suppression",
+	Run:  runGoroutineJoin,
+}
+
+const goroutineJoinName = "goroutinejoin"
+
+func runGoroutineJoin(pass *Pass) error {
+	sinks := collectJoinSinks(pass.Pkg)
+	decls := packageFuncDecls(pass.Pkg)
+
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.fset.Position(file.Pos()).Filename, "_test.go") {
+			continue // vet unit mode feeds test files; the invariant is for production code
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtJoined(pass.Pkg, gs, sinks, decls) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "go statement has no visible join: the spawned goroutine neither signals a WaitGroup nor closes/sends on a channel this package receives from — join it, or suppress with a reason if its lifetime is the process's")
+			return true
+		})
+	}
+	return nil
+}
+
+// joinSinks is the package-wide set of channel objects some code
+// receives from — closing or sending on one of these is join evidence.
+type joinSinks map[types.Object]bool
+
+// collectJoinSinks walks every file (test files included — a goroutine
+// joined only by its test is still joined) recording each channel
+// that appears in a receive position.
+func collectJoinSinks(pkg *PackageInfo) joinSinks {
+	sinks := joinSinks{}
+	note := func(e ast.Expr) {
+		if obj := chanObject(pkg, e); obj != nil {
+			sinks[obj] = true
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					note(n.X)
+				}
+			case *ast.RangeStmt:
+				if _, ok := pkg.Info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+					note(n.X)
+				}
+			}
+			return true
+		})
+	}
+	return sinks
+}
+
+// chanObject resolves a receive/close/send operand to the object
+// identifying the channel: the variable for idents, the field variable
+// for selector expressions (so aw.done in run() and aw.done in Close()
+// resolve to the same object).
+func chanObject(pkg *PackageInfo, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// packageFuncDecls maps each function object to its declaration so
+// `go f()` and `go x.m()` can be followed one level into the callee.
+func packageFuncDecls(pkg *PackageInfo) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goStmtJoined reports whether the spawned call shows join evidence:
+// in the function literal's body, or — for `go f()` — in f's body.
+func goStmtJoined(pkg *PackageInfo, gs *ast.GoStmt, sinks joinSinks, decls map[*types.Func]*ast.FuncDecl) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return bodyHasJoinSignal(pkg, lit.Body, sinks)
+	}
+	var fn *types.Func
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fd := decls[fn]; fd != nil {
+		return bodyHasJoinSignal(pkg, fd.Body, sinks)
+	}
+	return false // cross-package or dynamic target: demand a suppression
+}
+
+// bodyHasJoinSignal scans one body for the whitelisted join shapes.
+func bodyHasJoinSignal(pkg *PackageInfo, body *ast.BlockStmt, sinks joinSinks) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() — and close(ch) on a received channel.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isWaitGroup(pkg.Info.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if obj := chanObject(pkg, n.Args[0]); obj != nil && sinks[obj] {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := chanObject(pkg, n.Chan); obj != nil && sinks[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup (possibly through a
+// pointer).
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGoroutineJoin(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{GoroutineJoin}, "goroutinejoin", "workers")
+}

@@ -110,7 +110,13 @@ func walkHotPath(pass *ProgramPass, graph map[string]*funcNode, root string) {
 		key := queue[0]
 		queue = queue[1:]
 		node := graph[key]
-		if node == nil || node.suppressed || matchesAnySuffix(key, HotPathStops) {
+		if node == nil || matchesAnySuffix(key, HotPathStops) {
+			continue
+		}
+		if node.suppressed {
+			// The directive made this function opaque to the traversal —
+			// record the ledger hit so it is not condemned as stale.
+			pass.Prog.packageAt(node.decl.Pos()).markFuncSuppression(node.decl, pass.Analyzer.Name)
 			continue
 		}
 		for _, io := range node.ioSites {

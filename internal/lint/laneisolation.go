@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LaneIsolation is a points-to-lite pass over the parallel lane
+// closures: the goroutines runCluster spawns per partition window
+// (clustersim.go) may touch their own lane — reached through the
+// explicit *clusterLane parameter — but nothing else that can be
+// written concurrently. The windowed-lane design (DESIGN.md §11) gets
+// its determinism from exactly this property: lanes share only the
+// join machinery (WaitGroup, semaphore channel) and read-only window
+// bounds; all cross-lane state (fair-share deltas, the merge by
+// (time, partition, seq)) moves between windows on the coordinator
+// goroutine, never inside one.
+//
+// Rather than a full points-to analysis, the pass classifies every
+// free variable the closure captures:
+//
+//   - the lane itself is a parameter, not a capture — passing the
+//     loop variable by value is also what makes the capture-loop-var
+//     bug impossible here;
+//   - sync.WaitGroup and channels are the sanctioned join/merge path;
+//   - plain value types (time.Time window bounds, ints) are fine if
+//     the closure only reads them;
+//   - anything else — maps, slices, pointers, interfaces, or any
+//     captured variable the closure writes — is shared mutable state
+//     and is reported.
+var LaneIsolation = &Analyzer{
+	Name: laneIsolationName,
+	Doc:  "parallel lane closures capture no shared mutable state beyond the WaitGroup/semaphore join path and read-only window bounds",
+	Run:  runLaneIsolation,
+}
+
+const laneIsolationName = "laneisolation"
+
+// LaneIsolationPackages scopes the pass, matched like
+// DeterministicPackages (by path suffix so fixtures hit too). The lane
+// engine lives in the root package.
+var LaneIsolationPackages = []string{"ecosched", "clustersim", "lanes"}
+
+func isLanePackage(path string) bool {
+	for _, e := range LaneIsolationPackages {
+		if path == e || strings.HasSuffix(path, "/"+e) {
+			return true
+		}
+	}
+	return false
+}
+
+func runLaneIsolation(pass *Pass) error {
+	if !isLanePackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok || !hasLaneParam(pass.Pkg, lit) {
+				return true
+			}
+			checkLaneClosure(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasLaneParam reports whether the closure takes a pointer to a type
+// whose name contains "Lane" — the signature of a lane worker.
+func hasLaneParam(pkg *PackageInfo, lit *ast.FuncLit) bool {
+	sig, ok := pkg.Info.TypeOf(lit).(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		ptr, ok := sig.Params().At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if named, ok := ptr.Elem().(*types.Named); ok && strings.Contains(named.Obj().Name(), "Lane") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLaneClosure classifies every free variable of the lane closure.
+func checkLaneClosure(pass *Pass, lit *ast.FuncLit) {
+	written := writtenObjects(pass.Pkg, lit)
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || reported[obj] {
+			return true
+		}
+		// Free means declared outside the literal (params and locals
+		// sit inside its source range).
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		switch verdict := classifyCapture(obj.Type(), written[obj]); verdict {
+		case captureOK:
+		default:
+			reported[obj] = true
+			pass.Reportf(id.Pos(), "lane closure captures %s %s (%s): %s — lanes may share only the WaitGroup/semaphore join path and read-only window bounds; move this onto the lane or the coordinator",
+				obj.Name(), "of type "+obj.Type().String(), positionHint(pass.Pkg, obj), verdict)
+		}
+		return true
+	})
+}
+
+type captureVerdict string
+
+const captureOK captureVerdict = ""
+
+// classifyCapture decides whether a captured variable of type t, which
+// the closure does (written=true) or does not write, is lane-safe.
+func classifyCapture(t types.Type, written bool) captureVerdict {
+	if isWaitGroup(t) {
+		return captureOK
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return captureOK
+	case *types.Pointer:
+		if isWaitGroup(u.Elem()) {
+			return captureOK
+		}
+		return "a captured pointer aliases state another lane can reach"
+	case *types.Map:
+		return "maps are unsynchronized shared mutable state"
+	case *types.Slice:
+		return "a captured slice shares its backing array across lanes"
+	case *types.Interface:
+		return "an interface value hides what state the call graph can reach"
+	case *types.Signature:
+		return "a captured function value may close over shared state"
+	default:
+		if written {
+			return "the closure writes this captured variable, racing sibling lanes"
+		}
+		return captureOK // read-only value capture (window bound, worker count)
+	}
+}
+
+// writtenObjects collects the variables the literal's body assigns to,
+// increments, or takes the address of.
+func writtenObjects(pkg *PackageInfo, lit *ast.FuncLit) map[types.Object]bool {
+	written := map[types.Object]bool{}
+	note := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				written[obj] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				note(n.X)
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// positionHint renders where the captured variable was declared.
+func positionHint(pkg *PackageInfo, obj types.Object) string {
+	pos := pkg.fset.Position(obj.Pos())
+	return "declared at " + pos.String()
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLaneIsolation(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{LaneIsolation}, "laneisolation", "lanes", "other")
+}

@@ -1,6 +1,6 @@
 // Package lint is ecolint's analysis framework: a small, dependency-free
 // re-implementation of the golang.org/x/tools/go/analysis surface the
-// five project analyzers need. The real x/tools module cannot be
+// project analyzers need. The real x/tools module cannot be
 // vendored here (the build environment is offline), so the framework
 // carries its own package loader (loader.go), driver plumbing, and
 // analysistest harness (analysistest.go) on top of go/ast, go/parser
@@ -28,6 +28,19 @@
 //     used after release, and only alloc/release may touch the free
 //     list — the calendar queue's zero-allocation hot loop depends on
 //     the recycling contract holding everywhere.
+//   - atomicshape: striped structs holding atomics must pad to whole
+//     64-byte cache lines (false sharing), and 64-bit atomic operands
+//     must be 8-aligned under the 32-bit layout.
+//   - laneisolation: goroutine closures over a lane pointer may not
+//     capture shared mutable state — each lane owns its partition.
+//   - goroutinejoin: every go statement in production code needs a
+//     visible join (WaitGroup, channel close/send the package waits
+//     on) or a reasoned suppression.
+//   - zeroallocproof: functions reachable from the declared hot roots
+//     must not allocate; failure exits are exempt, suppressions carry
+//     the escape-analysis reason.
+//   - seqdet: no map-iteration order or multi-case select
+//     nondeterminism in the replayed packages.
 //
 // A diagnostic can be suppressed with a comment on the preceding line
 // (or the same line, or a function's doc comment):
@@ -110,22 +123,60 @@ func reportf(prog *Program, pkg *PackageInfo, analyzer string, pos token.Pos, si
 // reason are reported as findings themselves (ecolint/ignore): an
 // unexplained escape hatch is just a violation with extra steps.
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := run(prog, analyzers, false)
+	return diags
+}
+
+// RunWithDebt is Run plus the suppression-debt ledger: every
+// lint:ignore directive that actually suppressed a finding is counted
+// per analyzer, and directives that suppressed nothing (stale) are
+// reported as ecolint/stalesuppression findings — suppression debt can
+// only shrink. Whole-module mode uses this; the vet unit-checker mode
+// sticks to Run, because a per-package load cannot see the
+// cross-package findings a directive may exist for.
+func RunWithDebt(prog *Program, analyzers []*Analyzer) ([]Diagnostic, DebtReport) {
+	return run(prog, analyzers, true)
+}
+
+// DebtReport is the suppression ledger of one run.
+type DebtReport struct {
+	// ByAnalyzer counts the active directives — those that suppressed at
+	// least one finding this run — per analyzer they name.
+	ByAnalyzer map[string]int
+	// Total is the number of active directives (a directive naming two
+	// analyzers counts once here).
+	Total int
+	// Stale lists directives that suppressed nothing, in position order.
+	Stale []StaleDirective
+}
+
+// StaleDirective is one lint:ignore directive that no longer
+// suppresses any finding.
+type StaleDirective struct {
+	Pos       token.Position // the directive's own line
+	Analyzers []string       // analyzer names the directive lists
+}
+
+func run(prog *Program, analyzers []*Analyzer, withDebt bool) ([]Diagnostic, DebtReport) {
 	var out []Diagnostic
 	sink := func(d Diagnostic) { out = append(out, d) }
 	for _, pkg := range prog.Packages {
 		for file, sups := range pkg.suppressions {
-			for _, s := range sups {
-				if !s.hasReason {
+			for i := range sups {
+				sups[i].hits = 0 // the ledger describes this run only
+				if !sups[i].hasReason {
 					sink(Diagnostic{
 						Analyzer: "ignore",
-						Pos:      token.Position{Filename: file, Line: s.line - 1},
+						Pos:      token.Position{Filename: file, Line: sups[i].line - 1},
 						Message:  "lint:ignore directive requires a reason — say why the invariant does not apply here",
 					})
 				}
 			}
 		}
 	}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		switch {
 		case a.RunProgram != nil:
 			pp := &ProgramPass{Analyzer: a, Prog: prog, report: sink}
@@ -141,6 +192,10 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	var debt DebtReport
+	if withDebt {
+		debt = collectDebt(prog, ran, sink)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -151,7 +206,59 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	return out, debt
+}
+
+// collectDebt folds the per-directive hit counts recorded during the
+// analyzer runs into the ledger, reporting reasoned directives that hit
+// nothing as stale. Only directives naming at least one analyzer that
+// actually ran are judged — running a subset of the suite must not
+// condemn the rest's directives.
+func collectDebt(prog *Program, ran map[string]bool, sink func(Diagnostic)) DebtReport {
+	debt := DebtReport{ByAnalyzer: map[string]int{}}
+	for _, pkg := range prog.Packages {
+		for file, sups := range pkg.suppressions {
+			for i := range sups {
+				s := &sups[i]
+				if !s.hasReason {
+					continue // already reported as ecolint/ignore
+				}
+				var judged []string
+				for name := range s.analyzers {
+					if ran[name] {
+						judged = append(judged, name)
+					}
+				}
+				if len(judged) == 0 {
+					continue
+				}
+				sort.Strings(judged)
+				if s.hits > 0 {
+					debt.Total++
+					for _, name := range judged {
+						debt.ByAnalyzer[name]++
+					}
+					continue
+				}
+				pos := token.Position{Filename: file, Line: s.line - 1}
+				debt.Stale = append(debt.Stale, StaleDirective{Pos: pos, Analyzers: judged})
+				sink(Diagnostic{
+					Analyzer: "stalesuppression",
+					Pos:      pos,
+					Message: fmt.Sprintf("stale suppression: this directive no longer suppresses any ecolint/%s finding — delete it (`ecolint -prune` lists every stale directive)",
+						strings.Join(judged, ",ecolint/")),
+				})
+			}
+		}
+	}
+	sort.Slice(debt.Stale, func(i, j int) bool {
+		a, b := debt.Stale[i].Pos, debt.Stale[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return debt
 }
 
 // All returns the full analyzer suite in stable order.
@@ -163,6 +270,11 @@ func All() []*Analyzer {
 		LockScope,
 		MetricName,
 		EventPool,
+		AtomicShape,
+		LaneIsolation,
+		GoroutineJoin,
+		ZeroAllocProof,
+		SeqDet,
 	}
 }
 
@@ -173,9 +285,10 @@ var ignoreRx = regexp.MustCompile(`^//\s*lint:ignore\s+((?:ecolint/\w+)(?:,\s*ec
 // suppression is one parsed lint:ignore directive.
 type suppression struct {
 	analyzers map[string]bool
-	line      int  // line the directive suppresses (directive line + 1, or same line for trailing comments)
+	line      int           // line the directive suppresses (directive line + 1, or same line for trailing comments)
 	funcBody  *ast.FuncDecl // non-nil when the directive sits in a function's doc comment
 	hasReason bool
+	hits      int // findings this directive suppressed in the current run (the debt ledger)
 }
 
 // buildSuppressions scans a file's comments for lint:ignore directives.
@@ -228,6 +341,30 @@ func FuncSuppressed(fd *ast.FuncDecl, analyzer string) bool {
 	return false
 }
 
+// Per-package analyzers deliberately do NOT skip functions whose doc
+// comment carries a directive: they scan the body anyway and let
+// Reportf's range-based suppression absorb each finding, so the debt
+// ledger records the true hit count and a directive over a clean body
+// is correctly reported stale. Only whole-program analyzers
+// (hotpathio, zeroallocproof) skip-and-mark, because skipping there
+// changes traversal — the suppressed function's callees stay hidden —
+// which is the documented meaning of the directive on a hot path.
+
+// markFuncSuppression records a ledger hit for fd's doc-comment
+// directive covering the named analyzer, if one exists.
+func (pkg *PackageInfo) markFuncSuppression(fd *ast.FuncDecl, analyzer string) {
+	if pkg == nil || fd == nil || fd.Doc == nil {
+		return
+	}
+	file := pkg.fset.Position(fd.Pos()).Filename
+	sups := pkg.suppressions[file]
+	for i := range sups {
+		if sups[i].funcBody == fd && sups[i].analyzers[analyzer] {
+			sups[i].hits++
+		}
+	}
+}
+
 // isLocalPkg reports whether path names a package of the module under
 // analysis (as opposed to the standard library). In whole-module mode
 // every local package is loaded; in unit-checker mode only one is, so
@@ -253,9 +390,12 @@ func (prog *Program) packageAt(pos token.Pos) *PackageInfo {
 }
 
 // suppressed reports whether a diagnostic of the named analyzer at the
-// given position is covered by a lint:ignore directive.
+// given position is covered by a lint:ignore directive, recording the
+// hit in the debt ledger when it is.
 func (pkg *PackageInfo) suppressed(analyzer string, pos token.Position) bool {
-	for _, s := range pkg.suppressions[pos.Filename] {
+	sups := pkg.suppressions[pos.Filename]
+	for i := range sups {
+		s := &sups[i]
 		if !s.analyzers[analyzer] {
 			continue
 		}
@@ -263,12 +403,14 @@ func (pkg *PackageInfo) suppressed(analyzer string, pos token.Position) bool {
 			start := pkg.fset.Position(s.funcBody.Pos())
 			end := pkg.fset.Position(s.funcBody.End())
 			if pos.Line >= start.Line && pos.Line <= end.Line {
+				s.hits++
 				return true
 			}
 		}
 		// The directive covers the following line; a trailing comment
 		// (directive line == code line) covers its own line.
 		if pos.Line == s.line || pos.Line == s.line-1 {
+			s.hits++
 			return true
 		}
 	}

@@ -18,8 +18,8 @@ func TestBareIgnoreReported(t *testing.T) {
 	}
 }
 
-// TestAllStable: the suite is the five analyzers, in stable order, each
-// runnable.
+// TestAllStable: the suite is the eleven analyzers, in stable order,
+// each runnable.
 func TestAllStable(t *testing.T) {
 	names := []string{}
 	for _, a := range All() {
@@ -32,9 +32,63 @@ func TestAllStable(t *testing.T) {
 		names = append(names, a.Name)
 	}
 	got := strings.Join(names, ",")
-	want := "nodeterminism,ctxflow,hotpathio,lockscope,metricname,eventpool"
+	want := "nodeterminism,ctxflow,hotpathio,lockscope,metricname,eventpool," +
+		"atomicshape,laneisolation,goroutinejoin,zeroallocproof,seqdet"
 	if got != want {
 		t.Fatalf("All() = %s, want %s", got, want)
+	}
+}
+
+// TestDebtLedger: RunWithDebt counts directives that absorbed a
+// finding and reports the ones that absorbed nothing as stale.
+func TestDebtLedger(t *testing.T) {
+	prog, err := loadFixtures("framework", []string{"core"})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, report := RunWithDebt(prog, All())
+
+	// wall()'s directive absorbs the time.Now() finding: one active
+	// directive, charged to nodeterminism.
+	if report.Total != 1 || report.ByAnalyzer["nodeterminism"] != 1 {
+		t.Errorf("debt = total %d, nodeterminism %d; want 1 and 1",
+			report.Total, report.ByAnalyzer["nodeterminism"])
+	}
+
+	// pure()'s directive suppresses nothing: reported stale, and the
+	// stale report doubles as a finding so `make lint` gates on it.
+	if len(report.Stale) != 1 {
+		t.Fatalf("stale directives = %v, want exactly one", report.Stale)
+	}
+	var stale []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "stalesuppression" {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 || stale[0].Pos.Line != report.Stale[0].Pos.Line {
+		t.Errorf("stalesuppression diagnostics = %v, want one at line %d",
+			stale, report.Stale[0].Pos.Line)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "nodeterminism" {
+			t.Errorf("suppressed finding leaked: %s", d)
+		}
+	}
+}
+
+// TestRunHasNoStaleReports: plain Run (the vet unit-checker mode) must
+// not report stale directives — a per-package load cannot see the
+// cross-package findings a directive may exist for.
+func TestRunHasNoStaleReports(t *testing.T) {
+	prog, err := loadFixtures("framework", []string{"core"})
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, d := range Run(prog, All()) {
+		if d.Analyzer == "stalesuppression" {
+			t.Errorf("plain Run reported a stale directive: %s", d)
+		}
 	}
 }
 

@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -10,6 +12,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -152,6 +155,13 @@ func parsePackage(fset *token.FileSet, importPath, dir string) (*PackageInfo, er
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
+		ok, err := fileIncluded(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)
@@ -168,6 +178,108 @@ func parsePackage(fset *token.FileSet, importPath, dir string) (*PackageInfo, er
 		return nil, nil
 	}
 	return pkg, nil
+}
+
+// fileIncluded reports whether a .go file belongs to the build under
+// the host GOOS/GOARCH: both the filename convention (name_linux.go,
+// name_amd64.go, name_linux_amd64.go) and //go:build constraint lines
+// are honoured, so a //go:build ignore tool or a foreign-platform stub
+// never reaches the type-checker.
+func fileIncluded(path string) (bool, error) {
+	base := strings.TrimSuffix(filepath.Base(path), ".go")
+	if !goodOSArchName(base) {
+		return false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	// Constraints must precede the package clause; scanning stops at
+	// the first non-comment, non-blank line.
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			if constraint.IsGoBuild(line) {
+				expr, err := constraint.Parse(line)
+				if err != nil {
+					return false, fmt.Errorf("lint: %s: %w", path, err)
+				}
+				return expr.Eval(buildTagMatches), nil
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "/*") {
+			// A block comment before the package clause cannot hold a
+			// //go:build line; skip to its end.
+			for !strings.Contains(line, "*/") && sc.Scan() {
+				line = sc.Text()
+			}
+			continue
+		}
+		break
+	}
+	return true, sc.Err()
+}
+
+// buildTagMatches is the tag universe of the analysis build: host OS
+// and architecture, the gc toolchain, and every released go1.N version
+// (the module targets a toolchain at least as new as the one running
+// the linter).
+func buildTagMatches(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1")
+}
+
+// goodOSArchName applies the _GOOS, _GOARCH, and _GOOS_GOARCH filename
+// conventions to a file's base name (extension already stripped).
+func goodOSArchName(base string) bool {
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	prev := ""
+	if len(parts) >= 3 {
+		prev = parts[len(parts)-2]
+	}
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if knownOS[prev] && prev != runtime.GOOS {
+			return false
+		}
+		return true
+	}
+	if knownOS[last] && last != runtime.GOOS {
+		return false
+	}
+	return true
+}
+
+var knownOS = map[string]bool{
+	"linux": true, "darwin": true, "windows": true, "freebsd": true,
+	"netbsd": true, "openbsd": true, "solaris": true, "aix": true,
+	"dragonfly": true, "plan9": true, "js": true, "wasip1": true,
+	"android": true, "ios": true,
+}
+
+var knownArch = map[string]bool{
+	"amd64": true, "arm64": true, "386": true, "arm": true,
+	"ppc64": true, "ppc64le": true, "mips": true, "mipsle": true,
+	"mips64": true, "mips64le": true, "riscv64": true, "s390x": true,
+	"wasm": true, "loong64": true,
 }
 
 // topoSort orders packages dependencies-first, considering only

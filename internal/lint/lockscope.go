@@ -56,7 +56,7 @@ func runLockScope(pass *ProgramPass) error {
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil || FuncSuppressed(fd, lockScopeName) {
+				if !ok || fd.Body == nil {
 					continue
 				}
 				s := &lockScanner{pass: pass, pkg: pkg, acquirers: acquirers, self: funcKey(pkg, fd)}

@@ -55,9 +55,6 @@ var metricNameSinks = []metricNameSink{
 func runMetricName(pass *Pass) error {
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			if fd, ok := n.(*ast.FuncDecl); ok {
-				return !FuncSuppressed(fd, metricNameName)
-			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true

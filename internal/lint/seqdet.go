@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeqDet guards the byte-identical-replay guarantee at its two classic
+// failure points, both invisible to -race and to any single test run:
+//
+//   - map-range feeding ordered output: Go randomizes map iteration
+//     order per run, so a `for k := range m` whose body writes to a
+//     stream, journal, channel or builder produces a different byte
+//     sequence every execution. The sanctioned shape is collect keys →
+//     sort → range the slice; plain collection (append into a local)
+//     is therefore not flagged, only ranges whose body reaches an
+//     ordered sink directly.
+//   - multi-ready select: with two or more enabled comm clauses the
+//     runtime picks pseudo-randomly, so any select with ≥2 comm cases
+//     inside a deterministic package is a scheduling coin-flip on the
+//     hot chain. Non-blocking polls (one comm case plus default) stay
+//     legal.
+//
+// Scope is DeterministicPackages — the same set nodeterminism guards.
+var SeqDet = &Analyzer{
+	Name: seqDetName,
+	Doc:  "no map-range feeding ordered output and no multi-case select in deterministic packages",
+	Run:  runSeqDet,
+}
+
+const seqDetName = "seqdet"
+
+// orderedSinkMethods are method names that write into order-sensitive
+// state: streams, journals, builders, encoders.
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Append": true, "Record": true, "Emit": true, "Encode": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// orderedSinkFmtFuncs are the fmt package functions that write to a
+// stream (Sprint* build values and are order-safe on their own).
+func isOrderedFmtFunc(name string) bool {
+	return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+}
+
+func runSeqDet(pass *Pass) error {
+	if !isDeterministicPackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		if strings.HasSuffix(pass.Pkg.fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags a range over a map whose body reaches an ordered
+// sink.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if sink := firstOrderedSink(pass.Pkg, rs.Body); sink != "" {
+		pass.Reportf(rs.Pos(), "map iteration order is randomized but this range body feeds an ordered sink (%s) — collect the keys, sort, then range the slice",
+			sink)
+	}
+}
+
+// firstOrderedSink returns a description of the first order-sensitive
+// write in body, or "".
+func firstOrderedSink(pkg *PackageInfo, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "channel send"
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+				if fn.Pkg().Path() == "fmt" && isOrderedFmtFunc(fn.Name()) {
+					sink = "fmt." + fn.Name()
+					return true
+				}
+			}
+			// Method writes: only methods (a receiver exists), so plain
+			// package functions named Append etc. elsewhere don't match.
+			if selection, ok := pkg.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal && orderedSinkMethods[sel.Sel.Name] {
+				sink = typeShortName(selection.Recv()) + "." + sel.Sel.Name
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// typeShortName renders a receiver type compactly for diagnostics.
+func typeShortName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkSelect flags selects where the runtime can choose between two
+// or more ready comm clauses.
+func checkSelect(pass *Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), "select with %d comm cases: when several are ready the runtime picks pseudo-randomly, which is a replay-divergence point in a deterministic package — restructure to a single blocking receive (plus default for polls), or suppress with the reason the outcome is order-insensitive",
+			comm)
+	}
+}

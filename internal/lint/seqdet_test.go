@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSeqDet(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{SeqDet}, "seqdet", "core", "other")
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Padded to exactly one cache line: clean.
+type padded struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+type paddedStripes struct {
+	stripes [8]padded
+}
+
+// An 8-byte hot element in a multi-element array: neighbouring
+// elements share a line.
+type unpadded struct {
+	v atomic.Int64
+}
+
+type stripes struct {
+	shards [4]unpadded // want `not a multiple of the 64-byte cache line`
+}
+
+// The same rule fires on a named array type.
+type shardArr [4]unpadded // want `not a multiple of the 64-byte cache line`
+
+// Mutex-guarded ring shards are hot too: 8 (mutex) + 24 + 24 = 56.
+type ring struct {
+	mu    sync.Mutex
+	buf   []int
+	spare []int
+}
+
+type writer struct {
+	rings [4]ring // want `not a multiple of the 64-byte cache line`
+}
+
+// A dense array of bare atomics is a deliberate layout (per-bucket
+// counts inside one stripe) — not flagged.
+type histo struct {
+	counts [128]atomic.Int64
+}
+
+// A single element has no false-sharing neighbour — not flagged.
+type solo struct {
+	one [1]unpadded
+}
+
+// Cold structs (no atomics, no mutex) are none of this rule's
+// business, whatever their size.
+type coldElem struct {
+	a, b int64
+	c    byte
+}
+
+type cold struct {
+	elems [4]coldElem
+}
+
+// --- 64-bit alignment under the 32-bit layout ---
+
+// flag sits at offset 0, so n lands at offset 4 on 386 (int64 aligns
+// to 4 there): a 64-bit atomic on it faults or tears.
+type counters struct {
+	flag bool
+	n    int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.n, 1) // want `offset 4 under the 32-bit layout`
+}
+
+// Leading 64-bit field: offset 0, always aligned.
+type alignedCounters struct {
+	n    int64
+	flag bool
+}
+
+func bumpAligned(c *alignedCounters) {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// The atomic wrapper types are runtime-aligned; no finding even after
+// a misaligning neighbour.
+type wrapped struct {
+	flag bool
+	n    atomic.Int64
+}
+
+func bumpWrapped(w *wrapped) {
+	w.n.Add(1)
+}
+
+//lint:ignore ecolint/atomicshape fixture: 32-bit platforms are out of scope for this embedded tool
+func bumpSuppressed(c *counters) {
+	atomic.AddInt64(&c.n, 1)
+}

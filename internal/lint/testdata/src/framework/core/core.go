@@ -1,0 +1,19 @@
+package core
+
+import "time"
+
+// The directive below earns its keep: it absorbs a real nodeterminism
+// finding, so the ledger counts it as debt, not as stale.
+func wall() time.Time {
+	//lint:ignore ecolint/nodeterminism fixture: sanctioned wall-clock fallback
+	return time.Now()
+}
+
+// This directive suppresses nothing — pure() violates no invariant —
+// so RunWithDebt reports it as stale.
+//
+//lint:ignore ecolint/nodeterminism fixture: a reason that no longer applies
+func pure() int { return 1 }
+
+var _ = wall
+var _ = pure

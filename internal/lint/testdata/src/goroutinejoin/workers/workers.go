@@ -1,0 +1,93 @@
+package workers
+
+import "sync"
+
+// WaitGroup join: the body signals Done, someone Waits.
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Closer-goroutine join: the body closes a channel this package
+// receives from (the sweep coordinator pattern).
+func collect(n int) int {
+	results := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- 1
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	total := 0
+	for r := range results {
+		total += r
+	}
+	return total
+}
+
+// Single-result join: the body sends on a channel the caller receives.
+func oneShot() int {
+	out := make(chan int)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}
+
+// Drainer hand-off: `go d.run()` where run itself closes the done
+// channel that wait receives (the trace async-writer pattern).
+type drainer struct {
+	done chan struct{}
+}
+
+func (d *drainer) run() {
+	close(d.done)
+}
+
+func (d *drainer) start() {
+	go d.run()
+}
+
+func (d *drainer) wait() {
+	<-d.done
+}
+
+// No join signal anywhere: flagged.
+func leakyLit() {
+	go func() {}() // want `go statement has no visible join`
+}
+
+func orphan() {}
+
+// The callee carries no join signal either: flagged.
+func leakyNamed() {
+	go orphan() // want `go statement has no visible join`
+}
+
+// Sending on a channel nothing receives is not a join.
+func leakySend() {
+	void := make(chan int, 1)
+	go func() { // want `go statement has no visible join`
+		void <- 1
+	}()
+}
+
+//lint:ignore ecolint/goroutinejoin fixture: the accept loop lives for the whole process by design
+func acceptLoop() {
+	go func() {
+		for {
+		}
+	}()
+}

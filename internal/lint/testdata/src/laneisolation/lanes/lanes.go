@@ -1,0 +1,73 @@
+package lanes
+
+import "sync"
+
+type clusterLane struct {
+	id    int
+	batch []int
+}
+
+func (l *clusterLane) runWindow(end int64) {}
+
+// Clean lane fan-out: the closure captures only the join machinery
+// (WaitGroup, semaphore channel) and a read-only window bound; the
+// lane arrives as a parameter.
+func runClean(lanes []*clusterLane, end int64, workers int) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for _, ln := range lanes {
+		wg.Add(1)
+		go func(ln *clusterLane) {
+			defer wg.Done()
+			sem <- struct{}{}
+			ln.runWindow(end)
+			<-sem
+		}(ln)
+	}
+	wg.Wait()
+}
+
+// Dirty fan-out: shared map, shared slice, shared scalar written by
+// every lane.
+func runDirty(lanes []*clusterLane, shared map[string]int, buf []int) {
+	var wg sync.WaitGroup
+	var total int
+	for _, ln := range lanes {
+		wg.Add(1)
+		go func(ln *clusterLane) {
+			defer wg.Done()
+			ln.runWindow(0)
+			shared["done"]++ // want `maps are unsynchronized shared mutable state`
+			buf[0] = ln.id   // want `shares its backing array across lanes`
+			total++          // want `writes this captured variable`
+		}(ln)
+	}
+	wg.Wait()
+	_ = total
+}
+
+// A captured pointer aliases state siblings can reach.
+type tally struct{ n int }
+
+func runAliased(lanes []*clusterLane, t *tally) {
+	var wg sync.WaitGroup
+	for _, ln := range lanes {
+		wg.Add(1)
+		go func(ln *clusterLane) {
+			defer wg.Done()
+			t.n++ // want `captured pointer aliases state`
+		}(ln)
+	}
+	wg.Wait()
+}
+
+// A goroutine without a lane parameter is not a lane worker; the pass
+// leaves it to goroutinejoin and the race detector.
+func runUnrelated(shared map[string]int) {
+	done := make(chan struct{})
+	go func() {
+		shared["x"] = 1
+		close(done)
+	}()
+	<-done
+}

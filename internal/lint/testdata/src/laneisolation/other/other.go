@@ -1,0 +1,22 @@
+package other
+
+import "sync"
+
+type workLane struct{ id int }
+
+func (l *workLane) run() {}
+
+// Same dirty shape as the lanes fixture, but this package is outside
+// LaneIsolationPackages — no findings.
+func runDirty(lanes []*workLane, shared map[string]int) {
+	var wg sync.WaitGroup
+	for _, ln := range lanes {
+		wg.Add(1)
+		go func(ln *workLane) {
+			defer wg.Done()
+			ln.run()
+			shared["done"]++
+		}(ln)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,7 @@
+package broken
+
+// The closing brace is missing: the loader must surface the parse
+// error with the file position, not panic or silently drop the file.
+func oops() {
+	if true {
+}

@@ -1,0 +1,7 @@
+package buildtags
+
+// Current is defined once here and once in every excluded file: if the
+// loader ever includes an excluded file, the duplicate definition (or
+// its undefined references) fails the type-check and the test catches
+// it.
+func Current() string { return "portable" }

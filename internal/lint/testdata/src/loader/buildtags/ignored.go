@@ -1,0 +1,6 @@
+//go:build ignore
+
+package buildtags
+
+// A tool-style file: the ignore tag excludes it from every build.
+func Current() string { return callsNothingThatExists() }

@@ -1,0 +1,4 @@
+package buildtags
+
+// Excluded by the _windows filename convention on every other GOOS.
+func Current() string { return windowsOnlySymbol }

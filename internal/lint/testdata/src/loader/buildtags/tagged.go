@@ -1,0 +1,6 @@
+//go:build windows && !ignore
+
+package buildtags
+
+// Excluded by the //go:build expression on every other GOOS.
+func Current() string { return alsoUndefined() }

@@ -1,0 +1,40 @@
+package generics
+
+// The loader must type-check generic code: type parameters, generic
+// methods via instantiation, and inferred calls all flow through the
+// same types.Info the analyzers read.
+
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+func (p Pair[K, V]) Swap() (V, K) { return p.Val, p.Key }
+
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func Keys[K comparable, V any](pairs []Pair[K, V]) []K {
+	out := make([]K, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, p.Key)
+	}
+	return out
+}
+
+// Instantiations the type-checker must resolve.
+var (
+	_ = Sum([]int{1, 2, 3})
+	_ = Sum([]float64{1.5})
+	_ = Keys([]Pair[string, int]{{Key: "a", Val: 1}})
+	_ = Pair[int, string]{Key: 1, Val: "x"}.Swap
+)

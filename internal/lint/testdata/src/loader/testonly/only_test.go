@@ -1,0 +1,7 @@
+package testonly
+
+import "testing"
+
+// A directory holding nothing but _test.go files is not a package the
+// linter loads: production invariants do not apply to test scaffolding.
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,10 @@
+package names
+
+// Exported metric-name constants referenced cross-package (the PR 7/8
+// pattern: core.MetricPredictLatency, slurm.MetricChainLatency,
+// trace.MetricDropped).
+const (
+	MetricPredictLatency = "chronus.predict.latency"
+	PrefixSource         = "chronus.app.source."
+	BadExported          = "not.chronus.rooted"
+)

@@ -1,0 +1,13 @@
+package xpkg
+
+import (
+	"metrics"
+	"names"
+)
+
+func Use(r *metrics.Registry, kind string) {
+	r.Counter(names.MetricPredictLatency).Inc()
+	r.BucketedHistogram(names.MetricPredictLatency).Observe(1)
+	r.Counter(names.PrefixSource + kind).Inc()
+	r.Counter(names.BadExported).Inc() // want `"not\.chronus\.rooted" .* must match`
+}

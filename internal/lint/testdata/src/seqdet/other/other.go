@@ -1,0 +1,18 @@
+package other
+
+import "fmt"
+
+// Outside DeterministicPackages the same shapes are not findings:
+// interactive tools may print maps in whatever order they like.
+func emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func waitEither(a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+type PredictService struct {
+	cache map[string]int
+	buf   []byte
+}
+
+// Predict is a hot root (suffix match on PredictService).Predict).
+func (s *PredictService) Predict(key string) (int, error) {
+	if err := s.check(key); err != nil {
+		return 0, err
+	}
+	s.note(key)
+	s.grow()
+	if v, ok := s.cache[key]; ok {
+		return v, nil
+	}
+	return s.load(key), nil
+}
+
+// note is reachable from the root and full of allocating constructs.
+func (s *PredictService) note(key string) {
+	fmt.Println("predict", key) // want `fmt.Println boxes its arguments`
+	m := map[string]int{}       // want `map literal always heap-allocates`
+	sl := []int{1, 2, 3}        // want `slice literal heap-allocates its backing array`
+	ch := make(chan int)        // want `make\(chan\) always heap-allocates`
+	p := new(int)               // want `new\(T\) heap-allocates`
+	e := &entry{}               // want `&T\{…\} heap-allocates`
+	f := func() { _ = key }     // want `closure literal allocates`
+	msg := "k=" + key           // want `string concatenation`
+	_, _, _, _, _, _, _ = m, sl, ch, p, e, f, msg
+}
+
+type entry struct{ v int }
+
+// check only allocates on the failure exit: exempt.
+func (s *PredictService) check(key string) error {
+	if key == "" {
+		return fmt.Errorf("empty key")
+	}
+	return nil
+}
+
+// grow carries a reasoned suppression: counted as debt, not reported.
+func (s *PredictService) grow() {
+	if cap(s.buf) == 0 {
+		//lint:ignore ecolint/zeroallocproof fixture: one-time buffer growth, amortized
+		s.buf = make([]byte, 1024)
+	}
+}
+
+// load is a declared stop: the cold path may allocate freely.
+func (s *PredictService) load(key string) int {
+	big := make([]int, 1<<16)
+	return len(big)
+}
+
+// Unreachable from any root: allocations here are out of scope.
+func Unreachable() []int {
+	return make([]int, 99)
+}

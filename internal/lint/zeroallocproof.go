@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ZeroAllocProof is the static complement to `make alloc-check`: the
+// benchmarks prove 0 allocs/op for the schedules they run, this pass
+// proves no allocating construct is even reachable from the declared
+// hot roots — including branches the benchmark never takes. It walks
+// the same static call graph as hotpathio from ZeroAllocRoots and
+// flags, in every reachable function, the constructs the gc compiler
+// turns into heap allocations unless escape analysis rescues them:
+//
+//   - fmt calls (argument boxing plus formatting buffers);
+//   - make of a map, chan, or slice, and map/slice composite literals;
+//   - new(T) and &T{…} (escape depends on use; flagged, suppress where
+//     the profile proves stack allocation);
+//   - function literals (closures allocate when they capture and
+//     escape);
+//   - string concatenation (builds a fresh backing array).
+//
+// One deliberate exemption: fmt calls returned directly or handed to
+// panic only run when the function is already failing, and the
+// zero-alloc contract covers the steady state, not the failure exit.
+//
+// Otherwise the pass over-approximates on purpose: a construct the
+// compiler provably keeps on the stack earns a reasoned line
+// suppression, which the debt ledger then counts — the cost of each
+// exception stays visible instead of silently accumulating.
+var ZeroAllocProof = &Analyzer{
+	Name:       zeroAllocProofName,
+	Doc:        "no allocating constructs reachable from the declared zero-alloc hot roots",
+	RunProgram: runZeroAllocProof,
+}
+
+const zeroAllocProofName = "zeroallocproof"
+
+// ZeroAllocRoots are the functions the paper's latency budget and the
+// alloc-check benchmarks declare allocation-free, matched by suffix.
+// cmd/ecolint -roots overrides this set.
+var ZeroAllocRoots = []string{
+	"PredictService).Predict",
+	"BucketedHistogram).Observe",
+	"BucketedHistogram).ObserveDuration",
+	"Controller).SubmitDesc",
+	"Controller).Flush",
+}
+
+// ZeroAllocStops bound the traversal: the cold miss path is
+// budget-gated at runtime and allowed to allocate.
+var ZeroAllocStops = []string{
+	"PredictService).load",
+}
+
+func runZeroAllocProof(pass *ProgramPass) error {
+	graph := buildCallGraph(pass.Prog, zeroAllocProofName)
+
+	var roots []string
+	for key := range graph {
+		if matchesAnySuffix(key, ZeroAllocRoots) {
+			roots = append(roots, key)
+		}
+	}
+	sort.Strings(roots)
+
+	visited := map[string]bool{}
+	for _, root := range roots {
+		walkZeroAlloc(pass, graph, root, visited)
+	}
+	return nil
+}
+
+// walkZeroAlloc BFSes from root; each function's body is scanned for
+// alloc sites once even when reachable from several roots.
+func walkZeroAlloc(pass *ProgramPass, graph map[string]*funcNode, root string, visited map[string]bool) {
+	parent := map[string]string{root: ""}
+	queue := []string{root}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		node := graph[key]
+		if node == nil || matchesAnySuffix(key, ZeroAllocStops) {
+			continue
+		}
+		if node.suppressed {
+			pass.Prog.packageAt(node.decl.Pos()).markFuncSuppression(node.decl, pass.Analyzer.Name)
+			continue
+		}
+		if !visited[key] {
+			visited[key] = true
+			pkg := pass.Prog.packageAt(node.decl.Pos())
+			for _, site := range allocSites(pkg, node.decl) {
+				pass.Reportf(site.pos, "zero-alloc proof: %s is reachable from hot root %s (%s) but %s — the hot path must not allocate; hoist it, pool it, or suppress with the escape-analysis reason",
+					shortFuncName(key), shortFuncName(root), chain(parent, key), site.desc)
+			}
+		}
+		for _, call := range node.calls {
+			if _, seen := parent[call.desc]; seen {
+				continue
+			}
+			parent[call.desc] = key
+			queue = append(queue, call.desc)
+		}
+	}
+}
+
+// allocSites scans one function body for constructs that heap-allocate
+// unless escape analysis intervenes.
+func allocSites(pkg *PackageInfo, fd *ast.FuncDecl) []callSite {
+	var sites []callSite
+	info := pkg.Info
+	exempt := failureExitCalls(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "make":
+					if len(n.Args) > 0 {
+						switch info.TypeOf(n).Underlying().(type) {
+						case *types.Map:
+							sites = append(sites, callSite{n.Pos(), "make(map) always heap-allocates"})
+						case *types.Chan:
+							sites = append(sites, callSite{n.Pos(), "make(chan) always heap-allocates"})
+						case *types.Slice:
+							sites = append(sites, callSite{n.Pos(), "make([]T, …) heap-allocates unless the size is constant and small"})
+						}
+					}
+				case "new":
+					sites = append(sites, callSite{n.Pos(), "new(T) heap-allocates when the pointer escapes"})
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && !exempt[n] {
+					sites = append(sites, callSite{n.Pos(), "fmt." + fn.Name() + " boxes its arguments and allocates formatting buffers"})
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				sites = append(sites, callSite{n.Pos(), "map literal always heap-allocates"})
+			case *types.Slice:
+				sites = append(sites, callSite{n.Pos(), "slice literal heap-allocates its backing array"})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					sites = append(sites, callSite{n.Pos(), "&T{…} heap-allocates when the pointer escapes"})
+				}
+			}
+		case *ast.FuncLit:
+			sites = append(sites, callSite{n.Pos(), "closure literal allocates when it captures variables and escapes"})
+			return false // the literal's own body is not on the hot path unless called — edges handle that
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if b, ok := info.TypeOf(n).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					sites = append(sites, callSite{n.Pos(), "string concatenation builds a fresh backing array"})
+				}
+			}
+		}
+		return true
+	})
+	return sites
+}
+
+// failureExitCalls marks calls that only execute when the function is
+// already failing: a fmt call returned directly (`return fmt.Errorf…`)
+// or handed to panic. Error construction on the failure exit costs an
+// allocation precisely when the zero-alloc contract is already void,
+// so the pass does not count it against the steady state.
+func failureExitCalls(body *ast.BlockStmt) map[ast.Node]bool {
+	exempt := map[ast.Node]bool{}
+	mark := func(e ast.Expr) {
+		if call, ok := e.(*ast.CallExpr); ok {
+			exempt[call] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				mark(res)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				for _, arg := range n.Args {
+					mark(arg)
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}

@@ -1,0 +1,24 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZeroAllocProof(t *testing.T) {
+	AnalyzerTest(t, []*Analyzer{ZeroAllocProof}, "zeroallocproof", "core")
+}
+
+// TestZeroAllocProofChain asserts every finding names the hot root it
+// is reachable from, so a violation two frames deep is actionable.
+func TestZeroAllocProofChain(t *testing.T) {
+	diags := Diagnostics(t, []*Analyzer{ZeroAllocProof}, "zeroallocproof", "core")
+	if len(diags) == 0 {
+		t.Fatal("expected zero-alloc findings in the fixture")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "reachable from hot root (*core.PredictService).Predict") {
+			t.Errorf("diagnostic lacks the hot root: %s", d)
+		}
+	}
+}

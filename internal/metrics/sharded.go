@@ -84,6 +84,9 @@ type bhStripe struct {
 	sumNS  atomic.Int64
 	minNS  atomic.Int64
 	maxNS  atomic.Int64
+	// Pad to a whole number of cache lines so neighbouring stripes
+	// never share one (ecolint/atomicshape checks the arithmetic).
+	_ [32]byte
 }
 
 // BucketedHistogram is a log-bucketed latency histogram sharded across

@@ -84,6 +84,10 @@ type asyncShard struct {
 	mu    sync.Mutex
 	buf   []asyncEntry
 	spare []asyncEntry
+	// Pad to a full cache line: producers hash across shards to avoid
+	// contention, which false sharing would silently reintroduce
+	// (ecolint/atomicshape checks the arithmetic).
+	_ [8]byte
 }
 
 // asyncWriter owns the rings and the drainer goroutine.

@@ -88,8 +88,6 @@ func (j *Journal) Append(e Event) error {
 // rotation boundaries and at the end — one or two writes per batch
 // instead of one per event, with rotation points byte-identical to a
 // sequence of Append calls (the per-line size check is preserved).
-//
-//lint:ignore ecolint/lockscope the journal IS the I/O sink; the batched write must be serialized with rotation under j.mu — called only from the trace drainer goroutine, never on the submit path
 func (j *Journal) AppendBatch(events []Event) error {
 	if j == nil || len(events) == 0 {
 		return nil
