@@ -34,16 +34,29 @@ race:
 # random-schedule property test).
 CHAOS_SEED ?= 1
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'Chaos|Fault|Fuzz' ./...
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -run 'Chaos|Fault|Fuzz|PolicyInvariants|NeverStarves' ./...
 
-# fuzz gives each filedb fuzzer a short budget beyond the committed
-# corpus (which plain `go test` always replays).
+# fuzz gives each fuzzer a short budget beyond the committed corpus
+# (which plain `go test` always replays).
 fuzz:
 	$(GO) test -fuzz FuzzTornTail -fuzztime 30s -run FuzzTornTail ./internal/filedb/
 	$(GO) test -fuzz FuzzReplay -fuzztime 30s -run FuzzReplay ./internal/filedb/
+	$(GO) test -fuzz FuzzPolicySpec -fuzztime 30s -run FuzzPolicySpec ./internal/workload/
 
+# cover enforces a per-package statement-coverage floor on the policy
+# and workload packages (the cluster-policy test harness keeps them
+# high; the floor stops silent erosion). FAIL lines from any package
+# still fail the target even though awk consumes the pipe status.
+COVER_FLOOR ?= 80
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -cover ./... | awk -v floor=$(COVER_FLOOR) ' \
+		{ print } \
+		/^FAIL/ { bad = 1 } \
+		$$1 == "ok" && ($$2 == "ecosched/internal/slurm" || $$2 == "ecosched/internal/workload") { \
+			pct = $$5; sub(/%/, "", pct); seen++; \
+			if (pct + 0 < floor) { printf "cover: %s at %s%% is under the %d%% floor\n", $$2, pct, floor; bad = 1 } \
+		} \
+		END { if (seen < 2) { print "cover: gated packages missing from output"; exit 1 }; exit bad }'
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
@@ -55,13 +68,15 @@ bench-json:
 	$(GO) test -run XXX -bench . -benchtime=1x -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 
 # scale-smoke exercises the cluster-scale surface: the committed
-# 1,024-node 100k-submission spec through the ecosim CLI, then the
-# replay-fidelity suite under the race detector on the reduced spec
+# 1,024-node 100k-submission spec through the ecosim CLI, the
+# power-capped policy spec with its fitness row, then the
+# replay-fidelity suites under the race detector on the reduced specs
 # (the 1M acceptance regression is build-gated out of -race runs and
 # covered by plain `make test`).
 scale-smoke: build
 	$(GO) run ./cmd/ecosim -spec specs/scale-smoke.json
-	$(GO) test -race -run 'ClusterReplayFidelity|DifferentSeedDiverges|CommittedSpecsParse' -v .
+	$(GO) run ./cmd/ecosim -spec specs/powercap-smoke.json -bench
+	$(GO) test -race -run 'ClusterReplayFidelity|ClusterPolicyReplayFidelity|DifferentSeedDiverges|CommittedSpecsParse' -v .
 
 # bench-compare is the perf regression gate: it re-runs the simulator
 # core benchmarks, converts them with benchjson, and diffs the result

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"ecosched/internal/energymarket"
 	"ecosched/internal/hw"
 	"ecosched/internal/perfmodel"
 	"ecosched/internal/simclock"
@@ -41,6 +42,36 @@ type ClusterReport struct {
 	ClusterSystemKJ float64
 	ClusterCPUKJ    float64
 	Partitions      []PartitionReport
+	// Policy holds the energy-policy outcome; nil when the run had no
+	// policy block, so policy-free reports render byte-identically to
+	// earlier versions.
+	Policy *PolicyReport
+}
+
+// PolicyReport aggregates the cluster energy policies' effect and the
+// per-policy fitness used to compare policy sets on one workload.
+type PolicyReport struct {
+	// Policies is the stable policy-set label (workload.PolicySpec.Label).
+	Policies string
+	// Counters summed over all partitions.
+	CapDenials       int64
+	FreqCapped       int64
+	DeferredJobs     int64
+	ForcedDispatches int64
+	CoScheduled      int64
+	// CapViolations counts instants a partition's draw exceeded its
+	// budget — always zero unless the enforcement logic is broken; kept
+	// in the report so the property harness and the fitness score see it.
+	CapViolations int64
+	// DeadlineMisses counts jobs cancelled DeadlineUnsatisfiable.
+	DeadlineMisses int64
+	// Fitness: job-attributed energy, makespan, mean wait, and a single
+	// comparable score (lower is better) that charges energy, stretches
+	// with waiting, and is heavily penalised by violations and misses.
+	EnergyKJ  float64
+	MakespanS float64
+	MeanWaitS float64
+	Score     float64
 }
 
 // PartitionReport aggregates one partition's traffic, in spec order.
@@ -57,6 +88,10 @@ type PartitionReport struct {
 	// PeakQueueDepth is the largest pending-queue length observed at a
 	// submission instant.
 	PeakQueueDepth int
+	// CapW/PeakDrawW are the partition's power budget and observed peak
+	// draw in watts (zero when the run had no power policy).
+	CapW      float64
+	PeakDrawW float64
 }
 
 // WriteText renders the report in a stable layout: identical runs
@@ -76,6 +111,29 @@ func (r *ClusterReport) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "partition   %-12s %5d nodes  %8d submitted  %8d completed  %6d failed  %6d cancelled  peak queue %6d  %.3f kJ\n",
 			p.Name, p.Nodes, p.Submitted, p.Completed, p.Failed, p.Cancelled, p.PeakQueueDepth, p.SystemKJ)
 	}
+	if pl := r.Policy; pl != nil {
+		fmt.Fprintf(w, "policies    %s\n", pl.Policies)
+		fmt.Fprintf(w, "policy      %d cap denials, %d freq-capped, %d deferred (%d forced), %d co-scheduled\n",
+			pl.CapDenials, pl.FreqCapped, pl.DeferredJobs, pl.ForcedDispatches, pl.CoScheduled)
+		for _, p := range r.Partitions {
+			fmt.Fprintf(w, "power       %-12s cap %10.1f W  peak draw %10.1f W\n", p.Name, p.CapW, p.PeakDrawW)
+		}
+		fmt.Fprintf(w, "fitness     %.3f kJ  %.1f s makespan  %.3f s wait  %d violations  %d deadline misses  score %.3f\n",
+			pl.EnergyKJ, pl.MakespanS, pl.MeanWaitS, pl.CapViolations, pl.DeadlineMisses, pl.Score)
+	}
+}
+
+// WriteBench renders the policy fitness as Go-benchmark rows the
+// benchjson tool ingests, so policy runs land in BENCH_*.json next to
+// the performance benchmarks and diff across commits. No-op when the
+// run had no policy block.
+func (r *ClusterReport) WriteBench(w io.Writer) {
+	pl := r.Policy
+	if pl == nil {
+		return
+	}
+	fmt.Fprintf(w, "BenchmarkPolicyFitness/%s/%s 1 %.3f energy-kj %.1f makespan-s %.4f wait-s %d violations %.3f score\n",
+		r.Spec, pl.Policies, pl.EnergyKJ, pl.MakespanS, pl.MeanWaitS, pl.CapViolations+pl.DeadlineMisses, pl.Score)
 }
 
 func (r *ClusterReport) meanWaitSeconds() float64 {
@@ -138,6 +196,55 @@ func ReplayClusterLog(r io.Reader, opts ...RunOption) (*ClusterReport, error) {
 // spec seed (the same odd-constant mixing the benchmark pool uses).
 const clusterSeedStride = 0x9e3779b9
 
+// deferralSignal builds the lane-local deferral signal for the spec's
+// policy block. Each lane gets its own market instance seeded from the
+// spec seed — the market is a pure function of (seed, t), so every lane
+// observes identical values without sharing state across goroutines.
+func deferralSignal(seed uint64, d *workload.DeferralSpec) slurm.DeferralSignal {
+	m := energymarket.New(seed)
+	if d.Signal == workload.SignalCarbon {
+		return m.CarbonIntensity
+	}
+	return m.Price
+}
+
+// lanePolicies instantiates the spec's policy block for one
+// single-partition lane. The cluster-wide cap is prorated by the
+// GLOBAL node count — the lane sees only its own partition, and handing
+// each lane the full cluster budget would multiply the cap by the lane
+// count. An explicit per-partition entry overrides the prorated share
+// downward, mirroring PowerCapPolicy's own min rule.
+func lanePolicies(pol *workload.PolicySpec, ps workload.PartitionSpec, totalNodes int, seed uint64) []slurm.SchedPolicy {
+	var out []slurm.SchedPolicy
+	capW := 0.0
+	if pol.PowerCapW > 0 && totalNodes > 0 {
+		capW = pol.PowerCapW * float64(ps.Nodes) / float64(totalNodes)
+	}
+	for _, e := range pol.PartitionCapsW {
+		if e.Name == ps.Name && (capW == 0 || e.CapW < capW) {
+			capW = e.CapW
+		}
+	}
+	if capW > 0 {
+		out = append(out, &slurm.PowerCapPolicy{
+			PartitionCapsW: []slurm.PartitionCapW{{Partition: ps.Name, CapW: capW}},
+			Mode:           pol.CapMode,
+		})
+	}
+	if pol.CoSchedule {
+		out = append(out, &slurm.CoSchedulePolicy{InterferencePenalty: pol.InterferencePenalty})
+	}
+	if d := pol.Deferral; d != nil {
+		out = append(out, &slurm.DeferralPolicy{
+			Signal:    deferralSignal(seed, d),
+			Threshold: d.Threshold,
+			MaxDefer:  d.MaxDefer.Std(),
+			Check:     d.Check.Std(),
+		})
+	}
+	return out
+}
+
 // laneWindow is the conservative lookahead of the parallel partition
 // lanes: within one window, every lane advances independently; at the
 // barrier, cross-lane state (fair-share usage) is exchanged. The value
@@ -167,6 +274,9 @@ type clusterLane struct {
 	batch    []workload.Submission // this window's arrivals, stream order
 	usage    []usageDelta          // usage accrued this window (sink output)
 	rejected int                   // submissions the controller refused
+	// deadlineMisses counts jobs cancelled DeadlineUnsatisfiable (only
+	// tracked under a policy block).
+	deadlineMisses int64
 
 	// desc is the lane's reusable job description: runWindow rewrites
 	// the per-submission fields in place and submits by pointer, so the
@@ -192,6 +302,9 @@ func (ln *clusterLane) runWindow(windowEnd time.Time) {
 		d.Partition = ln.name
 		d.UserID = s.UserID
 		d.Shape = &s.Shape
+		d.Exclusive = s.Exclusive
+		d.Deferrable = s.Deferrable
+		d.Deadline = s.Deadline
 		if _, err := ln.ctl.SubmitDesc(d); err != nil {
 			ln.rejected++
 		} else {
@@ -240,6 +353,10 @@ func runCluster(start time.Time, spec workload.Spec, src workload.Source, lw *wo
 		return nil, fmt.Errorf("ecosched: spec %q has no partitions", spec.Name)
 	}
 	defaultPart := spec.Cluster.Partitions[0].Name
+	totalNodes := 0
+	for _, ps := range spec.Cluster.Partitions {
+		totalNodes += ps.Nodes
+	}
 	idx := 0
 	for pi, ps := range spec.Cluster.Partitions {
 		if ps.Default {
@@ -277,12 +394,18 @@ func runCluster(start time.Time, spec workload.Spec, src workload.Source, lw *wo
 		if ps.Policy == "multifactor" {
 			copts = append(copts, slurm.WithPartitionPolicy(ps.Name, slurm.DefaultMultifactor(spec0.Cores)))
 		}
+		if spec.Policy != nil {
+			if pols := lanePolicies(spec.Policy, ps, totalNodes, spec.Seed); len(pols) > 0 {
+				copts = append(copts, slurm.WithSchedPolicies(pols...))
+			}
+		}
 		ctl, err := slurm.NewCluster(laneSim, conf, copts...)
 		if err != nil {
 			return nil, err
 		}
 		ln.ctl = ctl
 		stats := ln.stats
+		trackDeadlines := spec.Policy != nil
 		ctl.OnCompletion(func(j *slurm.Job) {
 			switch j.State {
 			case slurm.StateCompleted:
@@ -291,6 +414,9 @@ func runCluster(start time.Time, spec workload.Spec, src workload.Source, lw *wo
 				stats.Failed++
 			case slurm.StateCancelled:
 				stats.Cancelled++
+				if trackDeadlines && j.Reason == "DeadlineUnsatisfiable" {
+					ln.deadlineMisses++
+				}
 			}
 			stats.SystemKJ += j.SystemJ / 1000
 		})
@@ -455,5 +581,76 @@ func runCluster(start time.Time, spec workload.Spec, src workload.Source, lw *wo
 		report.ClusterSystemKJ += sysJ / 1000
 		report.ClusterCPUKJ += cpuJ / 1000
 	}
+	if spec.Policy != nil {
+		pl := &PolicyReport{Policies: spec.Policy.Label()}
+		for i, ln := range lanes {
+			pt := ln.ctl.PolicyTotals()
+			pl.CapDenials += pt.CapDenials
+			pl.FreqCapped += pt.FreqCapped
+			pl.DeferredJobs += pt.DeferredJobs
+			pl.ForcedDispatches += pt.ForcedDispatches
+			pl.CoScheduled += pt.CoScheduled
+			pl.CapViolations += pt.CapViolations
+			pl.DeadlineMisses += ln.deadlineMisses
+			_, peak, capW := ln.ctl.PartitionDrawW(ln.name)
+			report.Partitions[i].CapW = capW
+			report.Partitions[i].PeakDrawW = peak
+		}
+		pl.EnergyKJ = report.Totals.SystemKJ
+		pl.MakespanS = report.Makespan.Seconds()
+		pl.MeanWaitS = report.meanWaitSeconds()
+		// Lower is better: energy stretched by waiting, with a hard
+		// multiplicative penalty per cap violation or deadline miss.
+		pl.Score = pl.EnergyKJ * (1 + pl.MeanWaitS/3600) *
+			(1 + float64(pl.CapViolations+pl.DeadlineMisses))
+		report.Policy = pl
+	}
 	return report, nil
+}
+
+// PolicyFlags carries the CLI's policy overrides. A zero value means
+// "leave the spec alone"; any set field is merged into (or creates) the
+// spec's policy block, and the merged spec is re-validated.
+type PolicyFlags struct {
+	PowerCapW      float64
+	CapMode        string
+	CoSchedule     bool
+	DeferSignal    string
+	DeferThreshold float64
+	DeferMax       time.Duration
+}
+
+// Apply merges the flags into spec.Policy (copy-on-write: the spec's
+// original block is never mutated) and validates the result.
+func (f PolicyFlags) Apply(spec *workload.Spec) error {
+	if f == (PolicyFlags{}) {
+		return nil
+	}
+	p := &workload.PolicySpec{}
+	if spec.Policy != nil {
+		cp := *spec.Policy
+		p = &cp
+	}
+	if f.PowerCapW > 0 {
+		p.PowerCapW = f.PowerCapW
+	}
+	if f.CapMode != "" {
+		p.CapMode = f.CapMode
+	}
+	if f.CoSchedule {
+		p.CoSchedule = true
+	}
+	if f.DeferSignal != "" {
+		d := workload.DeferralSpec{
+			Signal:    f.DeferSignal,
+			Threshold: f.DeferThreshold,
+			MaxDefer:  workload.Duration(f.DeferMax),
+		}
+		if p.Deferral != nil && d.Check == 0 {
+			d.Check = p.Deferral.Check
+		}
+		p.Deferral = &d
+	}
+	spec.Policy = p
+	return spec.Validate()
 }

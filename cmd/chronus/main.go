@@ -340,6 +340,9 @@ func cmdSLO(dataDir string, args []string) error {
 		return err
 	}
 	rep.WriteText(os.Stdout)
+	if rep.NoData {
+		return fmt.Errorf("no data: histogram %q has no observations — nothing to attain", *metric)
+	}
 	if !rep.Met {
 		return fmt.Errorf("SLO violated (attainment %.4f%% < objective %.4f%%)",
 			rep.Attainment*100, rep.Objective*100)
@@ -421,6 +424,14 @@ func cmdSimulate(args []string) error {
 	recordPath := fs.String("record", "", "record the generated submission stream to this JSONL log")
 	replayPath := fs.String("replay", "", "replay a submission log instead of generating one")
 	lanes := fs.Int("lanes", 0, "max partition lanes advancing concurrently (0 = one per CPU); any setting produces byte-identical output")
+	bench := fs.Bool("bench", false, "append the policy fitness as Go-benchmark rows (for benchjson)")
+	var pf ecosched.PolicyFlags
+	fs.Float64Var(&pf.PowerCapW, "power-cap", 0, "cluster power budget in watts (overrides the spec's policy block)")
+	fs.StringVar(&pf.CapMode, "cap-mode", "", "power-cap mode: wait or freqcap")
+	fs.BoolVar(&pf.CoSchedule, "cosched", false, "co-schedule complementary job profiles on one node")
+	fs.StringVar(&pf.DeferSignal, "defer-signal", "", "deferral signal: price or carbon")
+	fs.Float64Var(&pf.DeferThreshold, "defer-threshold", 0, "dispatch deferrable jobs when the signal is at or below this")
+	fs.DurationVar(&pf.DeferMax, "defer-max", 0, "longest a deferrable job may be held past submission")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -452,6 +463,9 @@ func cmdSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := pf.Apply(&spec); err != nil {
+		return err
+	}
 	var rec io.Writer
 	var recFile *os.File
 	if *recordPath != "" {
@@ -470,6 +484,9 @@ func cmdSimulate(args []string) error {
 		return err
 	}
 	report.WriteText(os.Stdout)
+	if *bench {
+		report.WriteBench(os.Stdout)
+	}
 	if *recordPath != "" {
 		fmt.Printf("recorded     %s (replay with `chronus simulate -replay %s`)\n", *recordPath, *recordPath)
 	}

@@ -30,6 +30,14 @@ func main() {
 	record := flag.String("record", "", "with -spec: record the generated submission stream to this JSONL log")
 	replay := flag.String("replay", "", "cluster-scale mode: replay a submission log recorded with -record")
 	lanes := flag.Int("lanes", 0, "cluster-scale mode: max partition lanes advancing concurrently (0 = one per CPU); any setting produces byte-identical output")
+	bench := flag.Bool("bench", false, "with -spec: append the policy fitness as Go-benchmark rows (for benchjson)")
+	var pf ecosched.PolicyFlags
+	flag.Float64Var(&pf.PowerCapW, "power-cap", 0, "with -spec: cluster power budget in watts (overrides the spec's policy block)")
+	flag.StringVar(&pf.CapMode, "cap-mode", "", "with -spec: power-cap mode, wait or freqcap")
+	flag.BoolVar(&pf.CoSchedule, "cosched", false, "with -spec: co-schedule complementary job profiles on one node")
+	flag.StringVar(&pf.DeferSignal, "defer-signal", "", "with -spec: deferral signal, price or carbon")
+	flag.Float64Var(&pf.DeferThreshold, "defer-threshold", 0, "with -spec: dispatch deferrable jobs when the signal is at or below this")
+	flag.DurationVar(&pf.DeferMax, "defer-max", 0, "with -spec: longest a deferrable job may be held past submission")
 	flag.Parse()
 
 	var err error
@@ -39,7 +47,7 @@ func main() {
 	case *replay != "" && *record != "":
 		err = fmt.Errorf("-record only applies to generated runs (-spec)")
 	case *spec != "":
-		err = runSpec(*spec, *record, *lanes)
+		err = runSpec(*spec, *record, *lanes, pf, *bench)
 	case *replay != "":
 		err = runReplay(*replay, *lanes)
 	case *record != "":
@@ -55,9 +63,12 @@ func main() {
 
 // runSpec generates the spec's submission stream and runs it through
 // the cluster it describes, optionally recording a replayable log.
-func runSpec(specPath, recordPath string, lanes int) error {
+func runSpec(specPath, recordPath string, lanes int, pf ecosched.PolicyFlags, bench bool) error {
 	spec, err := workload.LoadSpec(specPath)
 	if err != nil {
+		return err
+	}
+	if err := pf.Apply(&spec); err != nil {
 		return err
 	}
 	var rec io.Writer
@@ -78,6 +89,9 @@ func runSpec(specPath, recordPath string, lanes int) error {
 		return err
 	}
 	report.WriteText(os.Stdout)
+	if bench {
+		report.WriteBench(os.Stdout)
+	}
 	if recordPath != "" {
 		fmt.Printf("recorded     %s (replay with `ecosim -replay %s`)\n", recordPath, recordPath)
 	}

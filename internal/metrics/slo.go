@@ -43,6 +43,10 @@ type SLOReport struct {
 	// is exactly spent; above 1.0 the SLO is violated.
 	ErrorBudgetBurn float64 `json:"error_budget_burn"`
 	Met             bool    `json:"met"`
+	// NoData marks an evaluation over an empty histogram: the histogram
+	// exists but has zero observations, so attainment is undefined.
+	// Callers must not read it as "SLO met" — the CLI exits non-zero.
+	NoData bool `json:"no_data,omitempty"`
 }
 
 // EvalSLO evaluates slo against a snapshot. The named histogram must
@@ -62,6 +66,14 @@ func EvalSLO(s Snapshot, slo SLO) (SLOReport, error) {
 		return r, fmt.Errorf("metrics: no histogram %q in snapshot", slo.Metric)
 	}
 	if len(st.Buckets) == 0 {
+		if st.Count == 0 {
+			// A histogram with no observations snapshots with no buckets
+			// regardless of its kind: an explicit no-data verdict, not an
+			// error. Attainment stays zero and Met stays false so a
+			// careless caller fails safe.
+			r.NoData = true
+			return r, nil
+		}
 		return r, fmt.Errorf("metrics: histogram %q has no bucket counts (not a bucketed histogram?)", slo.Metric)
 	}
 	// A bucket is good when its whole range fits the threshold. The
@@ -74,7 +86,8 @@ func EvalSLO(s Snapshot, slo SLO) (SLOReport, error) {
 		}
 	}
 	if r.Total == 0 {
-		return r, fmt.Errorf("metrics: histogram %q is empty", slo.Metric)
+		r.NoData = true
+		return r, nil
 	}
 	r.Attainment = float64(r.Good) / float64(r.Total)
 	r.ErrorBudgetBurn = (1 - r.Attainment) / (1 - slo.Objective)
@@ -85,7 +98,10 @@ func EvalSLO(s Snapshot, slo SLO) (SLOReport, error) {
 // WriteText renders the report in a stable human-readable layout.
 func (r SLOReport) WriteText(w io.Writer) {
 	status := "met"
-	if !r.Met {
+	switch {
+	case r.NoData:
+		status = "NO DATA"
+	case !r.Met:
 		status = "VIOLATED"
 	}
 	fmt.Fprintf(w, "slo         %s\n", r.Metric)

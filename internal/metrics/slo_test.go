@@ -93,6 +93,31 @@ func TestEvalSLOErrors(t *testing.T) {
 	}
 }
 
+// An empty histogram must yield an explicit no-data verdict — never an
+// error, and never a "met" report (the old behavior errored; a caller
+// swallowing the error read it as 100% attainment).
+func TestEvalSLOEmptyHistogramNoData(t *testing.T) {
+	snap := sloSnapshot(t, 0, 0)
+	rep, err := EvalSLO(snap, SLO{Metric: "chronus.test.latency", Threshold: 10 * time.Millisecond, Objective: 0.99})
+	if err != nil {
+		t.Fatalf("empty histogram should not error: %v", err)
+	}
+	if !rep.NoData {
+		t.Fatalf("empty histogram: NoData = false, want true (report %+v)", rep)
+	}
+	if rep.Met {
+		t.Fatal("empty histogram must not report the SLO as met")
+	}
+	if rep.Total != 0 || rep.Good != 0 || rep.Attainment != 0 {
+		t.Fatalf("empty histogram: totals %+v, want all zero", rep)
+	}
+	var text strings.Builder
+	rep.WriteText(&text)
+	if !strings.Contains(text.String(), "status      NO DATA") {
+		t.Errorf("text report missing NO DATA status:\n%s", text.String())
+	}
+}
+
 func TestSLOReportRenders(t *testing.T) {
 	snap := sloSnapshot(t, 999, 1)
 	rep, err := EvalSLO(snap, SLO{Metric: "chronus.test.latency", Threshold: 10 * time.Millisecond, Objective: 0.99})

@@ -300,57 +300,58 @@ func interpEfficiency(cfg Config) float64 {
 	ht := cfg.HyperThread()
 	ghz := cfg.GHz()
 
-	atCores := func(n int) float64 { return effAtCores(n, ghz, ht) }
-
 	cores := paperdata.CoreCounts
 	n := cfg.Cores
 	if n <= cores[0] {
-		return atCores(cores[0])
+		return effAtCores(cores[0], ghz, ht)
 	}
 	if n >= cores[len(cores)-1] {
-		return atCores(cores[len(cores)-1])
+		return effAtCores(cores[len(cores)-1], ghz, ht)
 	}
 	for i := 1; i < len(cores); i++ {
 		if n == cores[i] {
-			return atCores(n)
+			return effAtCores(n, ghz, ht)
 		}
 		if n < cores[i] {
 			lo, hi := cores[i-1], cores[i]
 			t := float64(n-lo) / float64(hi-lo)
-			return atCores(lo)*(1-t) + atCores(hi)*t
+			return effAtCores(lo, ghz, ht)*(1-t) + effAtCores(hi, ghz, ht)*t
 		}
 	}
-	return atCores(cores[len(cores)-1])
+	return effAtCores(cores[len(cores)-1], ghz, ht)
 }
 
 // effAtCores interpolates along the frequency axis at a measured core
 // count.
 func effAtCores(n int, ghz float64, ht bool) float64 {
 	freqs := paperdata.FrequenciesGHz // ascending
-	lookup := func(f float64) float64 {
-		r, ok := paperdata.Lookup(n, f, ht)
-		if !ok {
-			panic(fmt.Sprintf("perfmodel: paper sweep missing (%d cores, %.1f GHz, ht=%v)", n, f, ht))
-		}
-		return r.GFLOPSPerWatt
-	}
 	if ghz <= freqs[0] {
-		return lookup(freqs[0])
+		return lookupEff(n, freqs[0], ht)
 	}
 	if ghz >= freqs[len(freqs)-1] {
-		return lookup(freqs[len(freqs)-1])
+		return lookupEff(n, freqs[len(freqs)-1], ht)
 	}
 	for i := 1; i < len(freqs); i++ {
 		if ghz == freqs[i] {
-			return lookup(ghz)
+			return lookupEff(n, ghz, ht)
 		}
 		if ghz < freqs[i] {
 			lo, hi := freqs[i-1], freqs[i]
 			t := (ghz - lo) / (hi - lo)
-			return lookup(lo)*(1-t) + lookup(hi)*t
+			return lookupEff(n, lo, ht)*(1-t) + lookupEff(n, hi, ht)*t
 		}
 	}
-	return lookup(freqs[len(freqs)-1])
+	return lookupEff(n, freqs[len(freqs)-1], ht)
+}
+
+// lookupEff reads one measured efficiency point; a miss is a bug in
+// the caller's clamping, not a recoverable condition.
+func lookupEff(n int, f float64, ht bool) float64 {
+	r, ok := paperdata.Lookup(n, f, ht)
+	if !ok {
+		panic(fmt.Sprintf("perfmodel: paper sweep missing (%d cores, %.1f GHz, ht=%v)", n, f, ht))
+	}
+	return r.GFLOPSPerWatt
 }
 
 // StandardConfig is the configuration Slurm uses without the plugin:

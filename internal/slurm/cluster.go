@@ -26,7 +26,10 @@ const (
 // across all partitions; dedicated pools (WithPartitionNodes) scope a
 // partition to its own hardware.
 type partition struct {
-	name   string
+	name string
+	// idx is the partition's position in Controller.parts — the pooled
+	// event argument the deferral wake action carries.
+	idx    int
 	conf   Partition
 	policy SchedulingPolicy
 	fifo   bool // policy is FIFO → pending stays ID-ordered, skip sorting
@@ -61,6 +64,15 @@ type partition struct {
 	occGauge    *metrics.Gauge
 	energyGauge *metrics.Gauge
 	doneCount   *metrics.Counter
+
+	// Cluster-policy state (energy.go), maintained only when the policy
+	// layer is active: the power budget, the modelled draw (idle floor
+	// included) with its run peak, and the pending deferral wake.
+	capW        float64
+	drawW       float64
+	peakDrawW   float64
+	deferArmed  bool
+	deferWakeAt time.Time
 }
 
 // takeIdle claims the lowest-slotted idle node that satisfies the
@@ -162,6 +174,7 @@ type clusterConfig struct {
 	usageSink    func(uid uint32, cpuSeconds float64)
 	workloads    []workloadOpt
 	fallback     Workload
+	policies     []SchedPolicy
 }
 
 // WithNodes adds nodes shared by every partition — the legacy single
@@ -243,6 +256,14 @@ func WithFallbackWorkload(w Workload) ClusterOption {
 	return func(cfg *clusterConfig) { cfg.fallback = w }
 }
 
+// WithSchedPolicies attaches cluster energy policies (PowerCapPolicy,
+// CoSchedulePolicy, DeferralPolicy) at construction. The policy layer
+// activates only through this option; without it the dispatch path is
+// unchanged.
+func WithSchedPolicies(ps ...SchedPolicy) ClusterOption {
+	return func(cfg *clusterConfig) { cfg.policies = append(cfg.policies, ps...) }
+}
+
 // NewCluster builds a controller over the configuration's partitions
 // and the node pools the options describe. Submit plugins named in
 // conf.JobSubmitPlugins must be registered with RegisterPlugin before
@@ -276,6 +297,7 @@ func NewCluster(sim *simclock.Sim, conf Conf, opts ...ClusterOption) (*Controlle
 	}
 	c.compAct.c = c
 	c.flushAct.c = c
+	c.deferAct.c = c
 	if cfg.policy != nil {
 		c.policy = cfg.policy
 	}
@@ -287,7 +309,7 @@ func NewCluster(sim *simclock.Sim, conf Conf, opts ...ClusterOption) (*Controlle
 	}
 
 	for i := range conf.Partitions {
-		p := &partition{name: conf.Partitions[i].Name, conf: conf.Partitions[i]}
+		p := &partition{name: conf.Partitions[i].Name, idx: i, conf: conf.Partitions[i]}
 		p.setPolicy(c.policy)
 		if _, dup := c.partByName[p.name]; dup {
 			return nil, fmt.Errorf("slurm: duplicate partition %q in configuration", p.name)
@@ -337,6 +359,28 @@ func NewCluster(sim *simclock.Sim, conf Conf, opts ...ClusterOption) (*Controlle
 	for _, p := range c.parts {
 		if len(p.nodes) == 0 {
 			return nil, fmt.Errorf("slurm: partition %q has no nodes", p.name)
+		}
+	}
+
+	if len(cfg.policies) > 0 {
+		c.epActive = true
+		for _, nd := range c.nodes {
+			nd.pm = NewPowerModel(nd.hw.Calibration())
+			nd.idleDrawW = nd.pm.IdleNodeW()
+		}
+		// Partition draw starts at the idle floor: an empty cluster
+		// still draws power, and the budget is a physical one.
+		for _, p := range c.parts {
+			for _, nd := range p.nodes {
+				p.drawW += nd.idleDrawW
+			}
+			p.peakDrawW = p.drawW
+		}
+		for _, pol := range cfg.policies {
+			if err := pol.attach(c); err != nil {
+				return nil, err
+			}
+			c.policyNames = append(c.policyNames, pol.Name())
 		}
 	}
 

@@ -99,6 +99,9 @@ type nodeD struct {
 	hw      *hw.Node
 	current *Job
 	hwJob   *hw.Job
+	// coJob is the co-scheduled secondary running beside current, when
+	// the co-scheduling policy paired one (energy.go).
+	coJob   *Job
 	drained bool
 	// free marks the node idle, undrained, and listed in its
 	// partitions' free bitmaps. Claiming a shared node through one
@@ -109,6 +112,10 @@ type nodeD struct {
 	slots []int
 	// spec caches hw.Spec() — read on every placement probe.
 	spec hw.NodeSpec
+	// pm/idleDrawW are the node's power model and idle draw, set only
+	// when the cluster-policy layer is active (energy.go).
+	pm        PowerModel
+	idleDrawW float64
 	// Governor state saved while a --cpu-freq job pins userspace.
 	savedGovernor hw.GovernorKind
 	pinned        bool
@@ -201,9 +208,27 @@ type Controller struct {
 
 	// Pre-allocated simclock Actions: job completion and the batched
 	// scheduling flush are the two per-job hot events, fired through
-	// these handles with zero per-event allocation.
+	// these handles with zero per-event allocation. deferAct wakes a
+	// partition whose energy-deferral hold may have expired.
 	compAct  completeAction
 	flushAct flushAction
+	deferAct deferAction
+
+	// Cluster energy policies (energy.go). epActive gates every policy
+	// hook on the dispatch path; a controller built without
+	// WithSchedPolicies pays one predictable branch per site.
+	epActive       bool
+	capActive      bool
+	freqCap        bool
+	cosched        bool
+	coschedPenalty float64
+	deferral       bool
+	deferSignal    DeferralSignal
+	deferThreshold float64
+	deferMax       time.Duration
+	deferCheck     time.Duration
+	policyNames    []string
+	ptotals        PolicyTotals
 
 	// activePlug caches the slurm.conf-resolved plugin chain;
 	// invalidated by RegisterPlugin.
@@ -219,6 +244,10 @@ type Controller struct {
 	mCancelled    *metrics.Counter
 	mOverruns     *metrics.Counter
 	mChainLatency *metrics.BucketedHistogram
+	mCapDenials   *metrics.Counter
+	mFreqCapped   *metrics.Counter
+	mDeferred     *metrics.Counter
+	mCoScheduled  *metrics.Counter
 }
 
 // Retired-state codes: one byte per retired job instead of a
@@ -287,6 +316,10 @@ func (c *Controller) cacheMetrics() {
 	c.mCancelled = c.metrics.Counter(metricJobsCancelled)
 	c.mOverruns = c.metrics.Counter(metricBudgetOverruns)
 	c.mChainLatency = c.metrics.BucketedHistogram(MetricChainLatency)
+	c.mCapDenials = c.metrics.Counter(metricCapDenials)
+	c.mFreqCapped = c.metrics.Counter(metricFreqCapped)
+	c.mDeferred = c.metrics.Counter(metricDeferred)
+	c.mCoScheduled = c.metrics.Counter(metricCoScheduled)
 	for _, p := range c.parts {
 		p.queueGauge = c.metrics.Gauge(metricPartQueuePrefix + p.name)
 		p.occGauge = c.metrics.Gauge(metricPartOccPrefix + p.name)
@@ -744,11 +777,12 @@ func (c *Controller) schedulePart(p *partition) {
 	if len(p.pending) == 0 {
 		return
 	}
-	if p.freeN == 0 && p.busy > 0 {
+	if p.freeN == 0 && p.busy > 0 && !c.cosched {
 		// Hot path at scale: every node busy, so nothing can start
 		// before this partition's next job-end event, which reschedules
 		// it. Tag fresh arrivals with the visible squeue reason and
-		// skip the full pass.
+		// skip the full pass. (With co-scheduling a busy node may still
+		// accept a complementary secondary, so the pass must run.)
 		for i := len(p.pending) - 1; i >= 0 && p.pending[i].Reason == "Priority"; i-- {
 			p.pending[i].Reason = "Resources"
 		}
@@ -775,7 +809,7 @@ func (c *Controller) schedulePart(p *partition) {
 	}
 	remaining := p.pending[:0]
 	for i, job := range p.pending {
-		if p.freeN == 0 {
+		if p.freeN == 0 && !c.cosched {
 			// Every node claimed mid-pass: nothing below can start, so
 			// keep the tail queued wholesale instead of probing each
 			// job — the pass cost stays bounded by placements made, not
@@ -828,9 +862,28 @@ func (c *Controller) schedulePart(p *partition) {
 			remaining = append(remaining, job)
 			continue
 		}
+		if c.deferral && job.Desc.Deferrable {
+			if hold, wake := c.deferHold(job, now); hold {
+				job.Reason = reasonEnergyHold
+				c.armDeferWake(p, wake)
+				remaining = append(remaining, job)
+				continue
+			}
+		}
 		node := p.takeIdle(&job.Desc)
 		if node == nil {
+			if c.cosched && c.tryPair(p, job, now) {
+				continue
+			}
 			job.Reason = "Resources"
+			remaining = append(remaining, job)
+			continue
+		}
+		if c.capActive && !c.placeWithinCap(job, node) {
+			c.refreeNode(node)
+			job.Reason = reasonPowerCap
+			c.ptotals.CapDenials++
+			c.mCapDenials.Inc()
 			remaining = append(remaining, job)
 			continue
 		}
@@ -943,6 +996,12 @@ func (c *Controller) start(job *Job, node *nodeD) error {
 	job.GFLOPS = gflops
 	c.claimNode(node, job)
 	node.hwJob = hwJob
+	if c.epActive {
+		// Charge the draw of the configuration the job actually runs in
+		// (slurmd resolved the frequency above), so the partition draw
+		// bookkeeping is self-consistent with what is returned at end.
+		c.addDraw(job, node, node.pm.PlacementDeltaW(hwJob.Config))
+	}
 	if c.tracer != nil && c.tracer.SampleKey(uint64(job.ID)) {
 		//lint:ignore ecolint/zeroallocproof sampled start event — allocation gated on SampleKey head sampling, off the unsampled fast path
 		c.tracer.Event(eventJobStart, map[string]string{
@@ -971,6 +1030,10 @@ func (c *Controller) completeJob(id int) {
 		return // cancelled meanwhile
 	}
 	node := job.node
+	if job.coSecondary {
+		c.completeSecondary(job, node)
+		return
+	}
 	node.hwJob.End()
 	node.unpinFrequency()
 	sys1, cpu1 := node.hw.EnergyJ()
@@ -984,7 +1047,20 @@ func (c *Controller) completeJob(id int) {
 	} else {
 		job.State = StateCompleted
 	}
-	c.releaseNode(node)
+	if c.epActive {
+		c.dropDraw(job, node)
+	}
+	if co := node.coJob; co != nil {
+		// A co-scheduled secondary is still running: promote it to the
+		// node's occupant instead of freeing the node. The hw job ended
+		// with the primary; the secondary finishes on estimates.
+		node.coJob = nil
+		node.current = co
+		node.hwJob = nil
+		job.node = nil
+	} else {
+		c.releaseNode(node)
+	}
 	c.finish(job)
 	// Completion already runs inside the event loop, so schedule the
 	// freed node's partitions directly instead of arming a same-instant
@@ -1121,11 +1197,41 @@ func (c *Controller) Cancel(id int) error {
 		return fmt.Errorf("slurm: job %d already %s", id, job.State)
 	}
 	freed := (*nodeD)(nil)
+	var kickParts []*partition
 	if job.State == StateRunning && job.node != nil {
-		freed = job.node
-		freed.hwJob.End()
-		freed.unpinFrequency()
-		c.releaseNode(freed)
+		n := job.node
+		if c.epActive {
+			c.dropDraw(job, n)
+		}
+		switch {
+		case job.coSecondary && n.coJob == job:
+			// Co-scheduled secondary with its primary still running:
+			// vacate the slot; the node stays claimed by the primary.
+			n.coJob = nil
+			job.node = nil
+			kickParts = n.parts
+		case job.coSecondary:
+			// Promoted secondary (the primary already ended, taking the
+			// hw job with it): the node frees without an hw job to end.
+			freed = n
+			c.releaseNode(n)
+		case n.coJob != nil:
+			// Primary with a live secondary: end the hw job and promote
+			// the secondary instead of freeing the node.
+			n.hwJob.End()
+			n.unpinFrequency()
+			co := n.coJob
+			n.coJob = nil
+			n.current = co
+			n.hwJob = nil
+			job.node = nil
+			kickParts = n.parts
+		default:
+			freed = n
+			n.hwJob.End()
+			n.unpinFrequency()
+			c.releaseNode(n)
+		}
 	}
 	job.State = StateCancelled
 	job.Reason = "Cancelled by user"
@@ -1136,6 +1242,12 @@ func (c *Controller) Cancel(id int) error {
 		c.kickAll()
 	case freed != nil:
 		for _, p := range freed.parts {
+			c.kick(p)
+		}
+	case kickParts != nil:
+		// No node freed, but a co-scheduling slot (and power headroom)
+		// opened on the node's partitions.
+		for _, p := range kickParts {
 			c.kick(p)
 		}
 	case job.part != nil:

@@ -75,6 +75,14 @@ type JobDesc struct {
 	// If any listed job fails or is cancelled, this job is cancelled
 	// with reason DependencyNeverSatisfied, as Slurm does.
 	AfterOK []int
+	// Exclusive demands the whole node (sbatch --exclusive): the job is
+	// never co-scheduled, as primary or secondary.
+	Exclusive bool
+	// Deferrable marks the job eligible for energy-aware deferral: a
+	// deferral policy may hold it while the price/carbon signal is high,
+	// until its deadline (or the policy's max-defer bound) forces
+	// dispatch.
+	Deferrable bool
 	// Shape, when set, describes the job's behaviour directly in the
 	// workload vocabulary and takes precedence over the BinaryPath
 	// workload registry. Generated and replayed submissions carry one.
@@ -127,10 +135,31 @@ type Job struct {
 	// userSlot indexes the controller's dense fair-share usage slice
 	// (Controller.usageBy) for Desc.UserID, assigned at submission.
 	userSlot int32
+	// Cluster-policy bookkeeping (energy.go): coSecondary marks a job
+	// running as a node's co-scheduled secondary; drawDeltaW is the
+	// partition draw attributed at start and returned at completion;
+	// estSysW/estCPUW are the secondary's estimated steady power deltas
+	// (the hw stack models one job per node, so the secondary's energy
+	// is integrated from the power model); deferred records that the
+	// deferral policy held the job at least once.
+	coSecondary bool
+	deferred    bool
+	drawDeltaW  float64
+	estSysW     float64
+	estCPUW     float64
 	// shape is the job-owned copy of Desc.Shape, so descriptions built
 	// in caller-reused buffers survive past Submit without a per-job
 	// heap allocation.
 	shape workload.Shape
+}
+
+// shapeProfile returns the job shape's resource profile ("compute",
+// "memory", or "") — the co-scheduling pairing key.
+func (j *Job) shapeProfile() string {
+	if j.Desc.Shape != nil {
+		return j.Desc.Shape.Profile
+	}
+	return ""
 }
 
 // Runtime returns how long the job ran (so far, if still running is

@@ -30,6 +30,13 @@ type Submission struct {
 	Comment   string
 	TimeLimit time.Duration // 0 = cluster default
 	Shape     Shape
+	// Exclusive jobs demand a whole node and are never co-scheduled.
+	Exclusive bool
+	// Deferrable jobs accept energy-aware deferral.
+	Deferrable bool
+	// Deadline is the latest acceptable completion instant (zero =
+	// none); only set for deferrable jobs with a deadline_slack dist.
+	Deadline time.Time
 }
 
 // Source is a stream of time-ordered submissions: the generator for
@@ -238,6 +245,9 @@ func (st *clientState) sampleInto(s *Submission, seq int) {
 	s.Partition = ""
 	s.Comment = ""
 	s.TimeLimit = 0
+	s.Exclusive = false
+	s.Deferrable = false
+	s.Deadline = time.Time{}
 	// 1. shape kind
 	sleep := false
 	switch {
@@ -260,6 +270,7 @@ func (st *clientState) sampleInto(s *Submission, seq int) {
 		}
 		s.Shape = FixedWork(st.workName, w)
 	}
+	s.Shape.Profile = j.Profile
 	// 3. tasks
 	s.Tasks = 1
 	if !j.Tasks.IsZero() {
@@ -285,6 +296,29 @@ func (st *clientState) sampleInto(s *Submission, seq int) {
 	s.UserID = st.userLo
 	if st.userN > 1 {
 		s.UserID += uint32(st.rng.Intn(st.userN))
+	}
+	// 8. exclusivity — like steps 1 and 6, the RNG is consumed only for
+	// fractions strictly inside (0, 1), so specs without the new fields
+	// keep their original sample streams.
+	switch {
+	case j.ExclusiveFraction >= 1:
+		s.Exclusive = true
+	case j.ExclusiveFraction > 0:
+		s.Exclusive = st.rng.Float64() < j.ExclusiveFraction
+	}
+	// 9. deferral + deadline
+	switch {
+	case j.DeferrableFraction >= 1:
+		s.Deferrable = true
+	case j.DeferrableFraction > 0:
+		s.Deferrable = st.rng.Float64() < j.DeferrableFraction
+	}
+	if s.Deferrable && !j.DeadlineSlack.IsZero() {
+		slack := j.DeadlineSlack.Sample(st.rng)
+		if slack < 0 {
+			slack = 0
+		}
+		s.Deadline = s.At.Add(s.TimeLimit + time.Duration(slack*float64(time.Second)))
 	}
 	st.jobSeq++
 	st.nameBuf = append(st.nameBuf[:0], st.spec.Name...)

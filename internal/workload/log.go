@@ -39,6 +39,10 @@ type logRecord struct {
 	ShapeName string  `json:"sn,omitempty"`
 	GFLOP     float64 `json:"sg,omitempty"`
 	SleepNS   int64   `json:"sd,omitempty"`
+	Profile   string  `json:"sp,omitempty"`
+	Exclusive bool    `json:"x,omitempty"`
+	Deferred  bool    `json:"df,omitempty"` // deferrable flag
+	Deadline  int64   `json:"dl,omitempty"` // deadline, UnixNano
 }
 
 // LogWriter records submissions to a versioned JSONL log.
@@ -83,6 +87,12 @@ func (lw *LogWriter) Record(s Submission) error {
 		ShapeName: s.Shape.Label,
 		GFLOP:     s.Shape.GFLOP,
 		SleepNS:   int64(s.Shape.Duration),
+		Profile:   s.Shape.Profile,
+		Exclusive: s.Exclusive,
+		Deferred:  s.Deferrable,
+	}
+	if !s.Deadline.IsZero() {
+		rec.Deadline = s.Deadline.UnixNano()
 	}
 	if err := lw.enc.Encode(rec); err != nil {
 		lw.err = fmt.Errorf("workload: writing log record %d: %w", s.Seq, err)
@@ -166,7 +176,13 @@ func (lr *LogReader) Next() (Submission, bool, error) {
 			Label:    rec.ShapeName,
 			GFLOP:    rec.GFLOP,
 			Duration: time.Duration(rec.SleepNS),
+			Profile:  rec.Profile,
 		},
+		Exclusive:  rec.Exclusive,
+		Deferrable: rec.Deferred,
+	}
+	if rec.Deadline != 0 {
+		s.Deadline = time.Unix(0, rec.Deadline).UTC()
 	}
 	if err := s.Shape.Validate(); err != nil {
 		return Submission{}, false, fmt.Errorf("workload: log line %d: %w", lr.line, err)

@@ -61,6 +61,9 @@ type Spec struct {
 	MaxSubmissions int         `json:"max_submissions,omitempty"`
 	Cluster        ClusterSpec `json:"cluster"`
 	Clients        []Client    `json:"clients"`
+	// Policy selects the cluster energy policies the run schedules
+	// under (nil = none: the plain dispatch path).
+	Policy *PolicySpec `json:"policy,omitempty"`
 }
 
 // ClusterSpec describes the simulated cluster to build.
@@ -147,12 +150,164 @@ type JobSpec struct {
 	// OptInFraction is the probability a job carries the eco plugin's
 	// opt-in comment ("chronus").
 	OptInFraction float64 `json:"opt_in_fraction,omitempty"`
+	// Profile classifies this client's jobs for co-scheduling:
+	// "compute" (HPCG-like), "memory" (STREAM-like), or "" (never
+	// paired).
+	Profile string `json:"profile,omitempty"`
+	// ExclusiveFraction is the probability a job demands a whole node
+	// (never co-scheduled).
+	ExclusiveFraction float64 `json:"exclusive_fraction,omitempty"`
+	// DeferrableFraction is the probability a job accepts energy-aware
+	// deferral.
+	DeferrableFraction float64 `json:"deferrable_fraction,omitempty"`
+	// DeadlineSlack is the distribution of extra seconds past
+	// submit+time_limit a deferrable job's deadline allows. Requires a
+	// time_limit distribution.
+	DeadlineSlack Dist `json:"deadline_slack,omitempty"`
 }
 
 // PartitionWeight is one weighted partition-choice entry.
 type PartitionWeight struct {
 	Name   string  `json:"name"`
 	Weight float64 `json:"weight"`
+}
+
+// Deferral signals (DeferralSpec.Signal): the energymarket series the
+// threshold is compared against.
+const (
+	SignalPrice  = "price"  // spot price, EUR/kWh
+	SignalCarbon = "carbon" // carbon intensity, gCO2/kWh
+)
+
+// PolicySpec selects cluster energy policies for a run: power budgets
+// enforced at dispatch, co-scheduling of complementary job profiles,
+// and price/carbon-driven deferral. An empty block is rejected — a
+// policy spec must select something.
+type PolicySpec struct {
+	// PowerCapW is the cluster-wide power budget in watts, prorated
+	// across partitions by node count (0 = no cluster cap).
+	PowerCapW float64 `json:"power_cap_w,omitempty"`
+	// PartitionCapsW are explicit per-partition budgets; they override
+	// the prorated cluster cap downward.
+	PartitionCapsW []PartitionCap `json:"partition_caps_w,omitempty"`
+	// CapMode is what happens to a job that does not fit the budget:
+	// "wait" (default) or "freqcap" (pin a lower frequency that fits).
+	CapMode string `json:"cap_mode,omitempty"`
+	// CoSchedule pairs compute-bound and memory-bound jobs on one node.
+	CoSchedule bool `json:"co_schedule,omitempty"`
+	// InterferencePenalty stretches a co-scheduled secondary's runtime
+	// (0 = the simulator default; otherwise >= 1).
+	InterferencePenalty float64 `json:"interference_penalty,omitempty"`
+	// Deferral holds deferrable jobs while the energy signal is high.
+	Deferral *DeferralSpec `json:"deferral,omitempty"`
+}
+
+// PartitionCap is one named partition's power budget.
+type PartitionCap struct {
+	Name string  `json:"name"`
+	CapW float64 `json:"cap_w"`
+}
+
+// DeferralSpec configures energy-aware deferral. MaxDefer is
+// mandatory: without a bound, a persistently high signal would starve
+// deferrable jobs.
+type DeferralSpec struct {
+	Signal    string  `json:"signal"`    // SignalPrice or SignalCarbon
+	Threshold float64 `json:"threshold"` // dispatch when signal <= threshold
+	// MaxDefer bounds how long past submission a job may be held.
+	MaxDefer Duration `json:"max_defer"`
+	// Check is the signal re-evaluation cadence (0 = simulator default).
+	Check Duration `json:"check,omitempty"`
+}
+
+// Label is the policy set's stable display name ("powercap-wait",
+// "powercap-freqcap+cosched+defer-price", ... or "none"), used in
+// reports and benchmark rows so policy runs compare by name.
+func (p *PolicySpec) Label() string {
+	if p == nil {
+		return "none"
+	}
+	label := ""
+	add := func(s string) {
+		if label != "" {
+			label += "+"
+		}
+		label += s
+	}
+	if p.PowerCapW > 0 || len(p.PartitionCapsW) > 0 {
+		mode := p.CapMode
+		if mode == "" {
+			mode = "wait"
+		}
+		add("powercap-" + mode)
+	}
+	if p.CoSchedule {
+		add("cosched")
+	}
+	if p.Deferral != nil {
+		add("defer-" + p.Deferral.Signal)
+	}
+	if label == "" {
+		return "none"
+	}
+	return label
+}
+
+// validate checks the policy block against the declared partitions.
+func (p *PolicySpec) validate(parts map[string]bool) error {
+	capped := p.PowerCapW > 0 || len(p.PartitionCapsW) > 0
+	if !capped && !p.CoSchedule && p.Deferral == nil {
+		return fmt.Errorf("policy block selects nothing (set power_cap_w, co_schedule, or deferral)")
+	}
+	if p.PowerCapW < 0 {
+		return fmt.Errorf("negative power_cap_w %g", p.PowerCapW)
+	}
+	seen := map[string]bool{}
+	for _, e := range p.PartitionCapsW {
+		if !parts[e.Name] {
+			return fmt.Errorf("partition cap names unknown partition %q", e.Name)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("duplicate partition cap %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.CapW <= 0 {
+			return fmt.Errorf("partition %q cap_w must be > 0, got %g", e.Name, e.CapW)
+		}
+	}
+	switch p.CapMode {
+	case "", "wait", "freqcap":
+	default:
+		return fmt.Errorf("unknown cap_mode %q (want wait or freqcap)", p.CapMode)
+	}
+	if p.CapMode != "" && !capped {
+		return fmt.Errorf("cap_mode %q without a power cap", p.CapMode)
+	}
+	if p.InterferencePenalty != 0 {
+		if !p.CoSchedule {
+			return fmt.Errorf("interference_penalty without co_schedule")
+		}
+		if p.InterferencePenalty < 1 {
+			return fmt.Errorf("interference_penalty %g must be >= 1", p.InterferencePenalty)
+		}
+	}
+	if d := p.Deferral; d != nil {
+		switch d.Signal {
+		case SignalPrice, SignalCarbon:
+		default:
+			return fmt.Errorf("unknown deferral signal %q (want %q or %q)", d.Signal, SignalPrice, SignalCarbon)
+		}
+		if d.Threshold <= 0 {
+			return fmt.Errorf("deferral threshold must be > 0, got %g", d.Threshold)
+		}
+		if d.MaxDefer <= 0 {
+			return fmt.Errorf("deferral needs max_defer > 0 (unbounded deferral starves jobs)")
+		}
+		if d.Check < 0 {
+			return fmt.Errorf("negative deferral check %v", d.Check.Std())
+		}
+	}
+	return nil
 }
 
 // ParseSpec decodes and validates a JSON spec.
@@ -212,6 +367,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("workload: partition %q: unknown policy %q", p.Name, p.Policy)
 		}
 	}
+	if s.Policy != nil {
+		if err := s.Policy.validate(parts); err != nil {
+			return fmt.Errorf("workload: policy: %w", err)
+		}
+	}
 	if len(s.Clients) == 0 {
 		return fmt.Errorf("workload: spec needs at least one client")
 	}
@@ -257,6 +417,20 @@ func (c Client) validate(parts map[string]bool) error {
 	if j.OptInFraction < 0 || j.OptInFraction > 1 {
 		return fmt.Errorf("opt_in_fraction %g outside [0, 1]", j.OptInFraction)
 	}
+	switch j.Profile {
+	case "", "compute", "memory":
+	default:
+		return fmt.Errorf("unknown profile %q (want compute or memory)", j.Profile)
+	}
+	if j.ExclusiveFraction < 0 || j.ExclusiveFraction > 1 {
+		return fmt.Errorf("exclusive_fraction %g outside [0, 1]", j.ExclusiveFraction)
+	}
+	if j.DeferrableFraction < 0 || j.DeferrableFraction > 1 {
+		return fmt.Errorf("deferrable_fraction %g outside [0, 1]", j.DeferrableFraction)
+	}
+	if !j.DeadlineSlack.IsZero() && j.TimeLimit.IsZero() {
+		return fmt.Errorf("deadline_slack needs a time_limit distribution")
+	}
 	if j.SleepFraction < 1 && j.Work.IsZero() {
 		return fmt.Errorf("fixed-work jobs need a work distribution")
 	}
@@ -266,7 +440,7 @@ func (c Client) validate(parts map[string]bool) error {
 	for _, d := range []struct {
 		name string
 		d    Dist
-	}{{"work", j.Work}, {"sleep", j.Sleep}, {"tasks", j.Tasks}, {"time_limit", j.TimeLimit}} {
+	}{{"work", j.Work}, {"sleep", j.Sleep}, {"tasks", j.Tasks}, {"time_limit", j.TimeLimit}, {"deadline_slack", j.DeadlineSlack}} {
 		if err := d.d.Validate(); err != nil {
 			return fmt.Errorf("%s: %w", d.name, err)
 		}

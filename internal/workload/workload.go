@@ -38,6 +38,14 @@ const (
 	ShapeSleep ShapeKind = "sleep"
 )
 
+// Resource profiles: the co-scheduling policy pairs a compute-bound
+// job (HPCG-like) with a memory-bound one (STREAM-like) on a node,
+// because the pair contends for different resources.
+const (
+	ProfileCompute = "compute"
+	ProfileMemory  = "memory"
+)
+
 // Shape is the unified job-shape description shared by generated,
 // replayed and hand-built jobs. It satisfies internal/slurm's
 // Workload contract (Name + Plan), so a Shape can be registered as a
@@ -49,6 +57,11 @@ type Shape struct {
 	GFLOP float64 `json:"gflop,omitempty"`
 	// Duration is the fixed runtime (ShapeSleep only).
 	Duration time.Duration `json:"duration,omitempty"`
+	// Profile classifies the job's dominant resource (ProfileCompute,
+	// ProfileMemory, or empty = unclassified). Co-scheduling pairs
+	// complementary profiles on one node; unclassified jobs are never
+	// paired.
+	Profile string `json:"profile,omitempty"`
 }
 
 // FixedWork returns a fixed-FLOP-budget shape.
@@ -99,6 +112,11 @@ func (s Shape) Validate() error {
 		}
 	default:
 		return fmt.Errorf("workload: unknown shape kind %q", s.Kind)
+	}
+	switch s.Profile {
+	case "", ProfileCompute, ProfileMemory:
+	default:
+		return fmt.Errorf("workload: unknown shape profile %q", s.Profile)
 	}
 	return nil
 }

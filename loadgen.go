@@ -211,7 +211,7 @@ func (d *Deployment) RunLoadgen(opts LoadgenOptions) (LoadgenReport, error) {
 	if budget > 0 {
 		if slo, err := metrics.EvalSLO(snap, metrics.SLO{
 			Metric: simMetric, Threshold: budget, Objective: objective,
-		}); err == nil {
+		}); err == nil && !slo.NoData {
 			rep.SLO = &slo
 		}
 	}

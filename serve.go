@@ -86,7 +86,7 @@ func (d *Deployment) writeSLOGauges(w io.Writer, snap metrics.Snapshot) {
 		rep, err := metrics.EvalSLO(snap, metrics.SLO{
 			Metric: name, Threshold: budget, Objective: metrics.DefaultObjective,
 		})
-		if err != nil {
+		if err != nil || rep.NoData {
 			continue // empty histogram: nothing to attain yet
 		}
 		rep.WritePrometheus(w)
